@@ -1,0 +1,14 @@
+//! Criterion wrapper for experiment `e10_ablations` (see DESIGN.md §3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", auros_bench::e10_ablations());
+    let mut g = c.benchmark_group("e10_ablations");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| std::hint::black_box(auros_bench::e10_ablations())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

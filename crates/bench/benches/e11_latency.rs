@@ -1,0 +1,16 @@
+//! Criterion wrapper for experiment `e11_client_latency` (DESIGN.md §3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", auros_bench::e11_client_latency());
+    let mut g = c.benchmark_group("e11_latency");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| std::hint::black_box(auros_bench::e11_client_latency()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

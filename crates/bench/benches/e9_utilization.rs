@@ -1,0 +1,21 @@
+//! Criterion wrapper for experiment `e9_utilization` (see DESIGN.md §3).
+//!
+//! The scientific output is the table, printed once; Criterion then
+//! measures the wall-clock cost of regenerating it, which tracks the
+//! simulator's own performance on this workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the table once so `cargo bench` output contains the data.
+    println!("{}", auros_bench::e9_utilization());
+    let mut g = c.benchmark_group("e9_utilization");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| std::hint::black_box(auros_bench::e9_utilization()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Long randomized soak: random workload mixes under random single-fault
+//! plans, forever (or `--iters N`). Any divergence or hang aborts loudly.
+//!
+//! ```sh
+//! cargo run --release -p auros-bench --bin soak -- --iters 200
+//! ```
+
+use auros::{programs, BackupMode, SystemBuilder, VTime};
+use auros_sim::DetRng;
+use rand::RngCore;
+
+fn build(rng_seed: u64, crash: Option<(u64, u16)>) -> auros::System {
+    let mut rng = DetRng::seed(rng_seed);
+    let clusters = 3 + (rng.below(2) as u16); // 3 or 4
+    let mut b = SystemBuilder::new(clusters);
+    let mode = match rng.below(3) {
+        0 => BackupMode::Quarterback,
+        1 => BackupMode::Halfback,
+        _ => BackupMode::Fullback,
+    };
+    b.default_mode(mode);
+    let jobs = 1 + rng.below(3);
+    for i in 0..jobs {
+        let c0 = (i as u16 * 2) % clusters;
+        let c1 = (c0 + 1) % clusters;
+        match rng.below(5) {
+            0 => {
+                let name = format!("pp{i}");
+                let rounds = 10 + rng.below(80);
+                b.spawn(c0, programs::pingpong(&name, rounds, true));
+                b.spawn(c1, programs::pingpong(&name, rounds, false));
+            }
+            1 => {
+                let name = format!("st{i}");
+                let count = 10 + rng.below(100);
+                b.spawn(c0, programs::producer(&name, count));
+                b.spawn(c1, programs::consumer(&name, count));
+            }
+            2 => {
+                let name = format!("bk{i}");
+                let tx = 8 + rng.below(60);
+                b.spawn(c0, programs::bank_server(&name, tx));
+                b.spawn(c1, programs::bank_client(&name, tx, 16, rng.next_u64()));
+            }
+            3 => {
+                let path = format!("/s{i}");
+                b.spawn(c0, programs::file_writer(&path, 1 + rng.below(8), 128));
+            }
+            _ => {
+                b.spawn(c0, programs::compute_loop(10 + rng.below(60), 1 + rng.below(8)));
+            }
+        }
+    }
+    if let Some((at, victim)) = crash {
+        b.crash_at(VTime(at), victim % clusters);
+    }
+    b.build()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters: u64 = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let mut meta = DetRng::seed(0xa0a0_5eed);
+    let deadline = VTime(800_000_000);
+    for i in 0..iters {
+        let seed = meta.next_u64();
+        let crash_at = 2_000 + meta.below(60_000);
+        let victim = meta.below(4) as u16;
+        let mut clean = build(seed, None);
+        assert!(clean.run(deadline), "iter {i}: fault-free hang (seed {seed:#x})");
+        let clean_digest = clean.digest();
+        let mut crashed = build(seed, Some((crash_at, victim)));
+        assert!(
+            crashed.run(deadline),
+            "iter {i}: crashed run hung (seed {seed:#x}, crash@{crash_at} c{victim})"
+        );
+        // The crash may land after the workload finished; let recovery
+        // complete before comparing.
+        let horizon = VTime(crash_at + 300_000).max(crashed.now());
+        crashed.run_until(horizon);
+        assert_eq!(
+            clean_digest,
+            crashed.digest(),
+            "iter {i}: DIVERGENCE (seed {seed:#x}, crash@{crash_at} c{victim})"
+        );
+        if (i + 1) % 20 == 0 {
+            println!("{} iterations clean", i + 1);
+        }
+    }
+    println!("soak complete: {iters} random workloads x single crashes, all transparent");
+}

@@ -1,0 +1,117 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A rendered experiment result.
+///
+/// # Examples
+///
+/// ```
+/// use auros_bench::Table;
+///
+/// let mut t = Table::new("demo", &["n", "value"]);
+/// t.row(vec!["1".into(), "10".into()]);
+/// t.conclude("values grow");
+/// assert!(t.to_string().contains("values grow"));
+/// assert_eq!(t.to_csv(), "n,value\n1,10\n");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id and claim, e.g. `"E1 — §8.1 multiple message handling"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line takeaway printed under the table.
+    pub takeaway: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            takeaway: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Sets the takeaway line.
+    pub fn conclude(&mut self, s: impl Into<String>) {
+        self.takeaway = s.into();
+    }
+
+    /// Renders as CSV (for downstream plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n## {}", self.title)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
+            })
+            .collect();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:>w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len() + 2;
+        writeln!(f, "  {}", "-".repeat(total.saturating_sub(2)))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        if !self.takeaway.is_empty() {
+            writeln!(f, "  => {}", self.takeaway)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        t.conclude("done");
+        let s = t.to_string();
+        assert!(s.contains("long_header"));
+        assert!(s.contains("=> done"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x,y\n1,2\n");
+    }
+}

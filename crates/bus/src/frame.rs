@@ -1,0 +1,129 @@
+//! Frames: one bus transmission, several deliveries.
+//!
+//! §5.1: every message sent from one primary process to another is
+//! actually sent to three destinations — the primary destination, the
+//! backup of the destination, and the backup of the sender — yet §7.4.2
+//! transmits it *once* over the intercluster bus; each target cluster
+//! picks the transmission up and interprets its copy according to the
+//! routing header. [`DeliveryTag`] is that header entry.
+
+use crate::ids::ClusterId;
+use crate::proto::{ChanEnd, Payload};
+use crate::Pid;
+
+/// Unique message identifier, for tracing only; never load-bearing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgId(pub u64);
+
+/// How one target cluster must treat its copy of a frame (§7.4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeliveryTag {
+    /// Queue on the primary destination's routing entry and wake any
+    /// process awaiting a message on the channel.
+    Primary(ChanEnd),
+    /// Queue on the destination's *backup* routing entry; wake nobody.
+    /// Read only upon rollforward after a failure.
+    DestBackup(ChanEnd),
+    /// Increment the writes-since-sync count on the *sender's* backup
+    /// routing entry and discard the message.
+    SenderBackup(ChanEnd),
+    /// Deliver to the target cluster's kernel (sync messages, birth
+    /// notices, and other control traffic).
+    Kernel,
+}
+
+/// A message as it travels: source process plus payload.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Trace identifier.
+    pub id: MsgId,
+    /// Sending process (a pseudo-pid for kernel-originated traffic).
+    pub src: Pid,
+    /// The protocol payload.
+    pub payload: Payload,
+    /// Piggybacked nondeterministic-event results (§10): the sender's
+    /// backup logs these from its copy, so rollforward replays them.
+    pub nondet: Vec<u64>,
+}
+
+impl Message {
+    /// Approximate size on the wire, for bus cost accounting.
+    pub fn wire_size(&self) -> usize {
+        16 + self.nondet.len() * 8 + self.payload.wire_size()
+    }
+}
+
+/// One bus transmission: a message plus its routing header.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The transmitting cluster.
+    pub src_cluster: ClusterId,
+    /// Target clusters with per-cluster treatment. At most one `Primary`
+    /// target (there can be at most one local destination, §7.4.2).
+    pub targets: Vec<(ClusterId, DeliveryTag)>,
+    /// The message carried.
+    pub msg: Message,
+}
+
+impl Frame {
+    /// Approximate size on the wire.
+    pub fn wire_size(&self) -> usize {
+        8 + self.targets.len() * 8 + self.msg.wire_size()
+    }
+
+    /// The clusters this frame is addressed to, in header order.
+    pub fn target_clusters(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.targets.iter().map(|(c, _)| *c)
+    }
+
+    /// Asserts the structural invariant: at most one `Primary` tag.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let primaries =
+            self.targets.iter().filter(|(_, t)| matches!(t, DeliveryTag::Primary(_))).count();
+        if primaries > 1 {
+            return Err(format!("frame has {primaries} primary destinations"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{ChannelId, Side};
+
+    fn end() -> ChanEnd {
+        ChanEnd { channel: ChannelId(1), side: Side::A }
+    }
+
+    #[test]
+    fn at_most_one_primary_target() {
+        let msg = Message { id: MsgId(1), src: Pid(1), payload: Payload::Data(vec![]), nondet: vec![] };
+        let bad = Frame {
+            src_cluster: ClusterId(0),
+            targets: vec![
+                (ClusterId(1), DeliveryTag::Primary(end())),
+                (ClusterId(2), DeliveryTag::Primary(end())),
+            ],
+            msg: msg.clone(),
+        };
+        assert!(bad.check_invariants().is_err());
+        let good = Frame {
+            src_cluster: ClusterId(0),
+            targets: vec![
+                (ClusterId(1), DeliveryTag::Primary(end())),
+                (ClusterId(2), DeliveryTag::DestBackup(end())),
+                (ClusterId(0), DeliveryTag::SenderBackup(end())),
+            ],
+            msg,
+        };
+        assert!(good.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn wire_size_grows_with_payload() {
+        let small = Message { id: MsgId(1), src: Pid(1), payload: Payload::Data(vec![0; 8]), nondet: vec![] };
+        let large = Message { id: MsgId(2), src: Pid(1), payload: Payload::Data(vec![0; 800]), nondet: vec![] };
+        assert!(large.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! The intercluster bus and the system's wire protocol.
+//!
+//! The Auragen 4000 connects clusters with a dual high-speed bus whose
+//! hardware guarantees two properties the whole fault-tolerance scheme
+//! rests on (§5.1):
+//!
+//! 1. **All-or-none**: a message addressed to several clusters reaches all
+//!    of them or none of them.
+//! 2. **Non-interleaving**: if two messages are sent, one reaches all of
+//!    its destinations before the other arrives at any of its
+//!    destinations — so a primary and its backup always observe the same
+//!    message order.
+//!
+//! This crate models that hardware: [`Frame`]s carry a [`Message`] plus a
+//! routing header naming up to a handful of `(cluster, delivery-tag)`
+//! targets, and [`BusSchedule`] serializes transmissions so the two
+//! properties hold structurally. It also defines the complete wire
+//! protocol ([`proto`]) spoken by kernels, the page server, the file
+//! server family, and the process server.
+
+pub mod frame;
+pub mod ids;
+pub mod proto;
+pub mod schedule;
+
+pub use frame::{DeliveryTag, Frame, Message, MsgId};
+pub use ids::{ChannelName, ClusterId, EntryId, Fd, Pid, Sig};
+pub use proto::Payload;
+pub use schedule::{BusKind, BusSchedule};

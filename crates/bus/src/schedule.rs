@@ -1,0 +1,186 @@
+//! Bus serialization and the dual-bus model.
+//!
+//! §7.4.2: "Since a cluster may transmit or receive only one message at a
+//! time, messages are never interleaved." The schedule grants each frame
+//! an exclusive transmission window; the frame is *delivered to every
+//! target cluster at the window's end*, in one simulation event, which
+//! realizes both atomicity properties of §5.1 structurally:
+//! all-or-none (one event delivers to all live targets) and
+//! non-interleaving (windows are disjoint and ordered).
+//!
+//! The Auragen 4000 has a **dual** intercluster bus; we model the pair as
+//! an active bus plus a cold standby with instant failover and a per-bus
+//! transmission ledger.
+
+use auros_sim::{Dur, VTime};
+
+/// Which physical bus of the dual pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BusKind {
+    /// Bus A (initially active).
+    A,
+    /// Bus B (standby).
+    B,
+}
+
+/// Per-bus traffic counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BusCounters {
+    /// Frames transmitted.
+    pub frames: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Ticks the bus spent transmitting.
+    pub busy: u64,
+}
+
+/// The transmission schedule of the (dual) intercluster bus.
+#[derive(Debug)]
+pub struct BusSchedule {
+    free_at: VTime,
+    active: BusKind,
+    a: BusCounters,
+    b: BusCounters,
+    /// Whether each bus has failed (injected faults).
+    a_failed: bool,
+    b_failed: bool,
+}
+
+impl Default for BusSchedule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BusSchedule {
+    /// A fresh schedule with bus A active.
+    pub fn new() -> BusSchedule {
+        BusSchedule {
+            free_at: VTime::ZERO,
+            active: BusKind::A,
+            a: BusCounters::default(),
+            b: BusCounters::default(),
+            a_failed: false,
+            b_failed: false,
+        }
+    }
+
+    /// The currently active bus, or `None` if both have failed (a double
+    /// fault outside the paper's fault model).
+    pub fn active(&self) -> Option<BusKind> {
+        match (self.a_failed, self.b_failed) {
+            (false, _) if self.active == BusKind::A => Some(BusKind::A),
+            (_, false) if self.active == BusKind::B => Some(BusKind::B),
+            (false, _) => Some(BusKind::A),
+            (_, false) => Some(BusKind::B),
+            (true, true) => None,
+        }
+    }
+
+    /// Injects a failure of one bus; traffic fails over to the other.
+    ///
+    /// Returns `true` if a healthy bus remains.
+    pub fn fail(&mut self, bus: BusKind) -> bool {
+        match bus {
+            BusKind::A => self.a_failed = true,
+            BusKind::B => self.b_failed = true,
+        }
+        if let Some(next) = self.active() {
+            self.active = next;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reserves the next exclusive transmission window.
+    ///
+    /// `earliest` is when the transmitting executive is ready; `xmit` is
+    /// the frame's transmission time (latency plus size cost, computed by
+    /// the caller's cost model). Returns `(start, deliver_at)`; the frame
+    /// reaches all its targets at `deliver_at`. Returns `None` if no bus
+    /// is healthy.
+    pub fn reserve(&mut self, earliest: VTime, xmit: Dur, bytes: usize) -> Option<(VTime, VTime)> {
+        self.active()?;
+        let start = self.free_at.max(earliest);
+        let end = start + xmit;
+        self.free_at = end;
+        let c = match self.active {
+            BusKind::A => &mut self.a,
+            BusKind::B => &mut self.b,
+        };
+        c.frames += 1;
+        c.bytes += bytes as u64;
+        c.busy += xmit.as_ticks();
+        Some((start, end))
+    }
+
+    /// When the bus next becomes free.
+    pub fn free_at(&self) -> VTime {
+        self.free_at
+    }
+
+    /// Traffic counters for one bus.
+    pub fn counters(&self, bus: BusKind) -> BusCounters {
+        match bus {
+            BusKind::A => self.a,
+            BusKind::B => self.b,
+        }
+    }
+
+    /// Bus utilization over `[VTime::ZERO, now]` as busy-fraction ×1000.
+    pub fn utilization_permille(&self, now: VTime) -> u64 {
+        if now == VTime::ZERO {
+            return 0;
+        }
+        let busy = self.a.busy + self.b.busy;
+        busy * 1000 / now.ticks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_disjoint_and_ordered() {
+        let mut bus = BusSchedule::new();
+        let (s1, e1) = bus.reserve(VTime(0), Dur(10), 100).unwrap();
+        let (s2, e2) = bus.reserve(VTime(0), Dur(5), 50).unwrap();
+        let (s3, e3) = bus.reserve(VTime(100), Dur(5), 50).unwrap();
+        assert_eq!((s1, e1), (VTime(0), VTime(10)));
+        assert_eq!((s2, e2), (VTime(10), VTime(15)), "second frame waits for the first");
+        assert_eq!((s3, e3), (VTime(100), VTime(105)), "idle gap respected");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut bus = BusSchedule::new();
+        bus.reserve(VTime(0), Dur(10), 100);
+        bus.reserve(VTime(0), Dur(10), 100);
+        let c = bus.counters(BusKind::A);
+        assert_eq!(c.frames, 2);
+        assert_eq!(c.bytes, 200);
+        assert_eq!(c.busy, 20);
+        assert_eq!(bus.counters(BusKind::B).frames, 0);
+    }
+
+    #[test]
+    fn failover_switches_bus() {
+        let mut bus = BusSchedule::new();
+        assert!(bus.fail(BusKind::A));
+        assert_eq!(bus.active(), Some(BusKind::B));
+        bus.reserve(VTime(0), Dur(10), 1);
+        assert_eq!(bus.counters(BusKind::B).frames, 1);
+        assert!(!bus.fail(BusKind::B), "double bus fault exhausts the pair");
+        assert!(bus.reserve(VTime(0), Dur(1), 1).is_none());
+    }
+
+    #[test]
+    fn utilization_reflects_busy_time() {
+        let mut bus = BusSchedule::new();
+        bus.reserve(VTime(0), Dur(250), 1);
+        assert_eq!(bus.utilization_permille(VTime(1000)), 250);
+        assert_eq!(bus.utilization_permille(VTime::ZERO), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests of the bus guarantees the fault-tolerance scheme
+//! rests on (§5.1): transmission windows are exclusive and ordered, so
+//! a frame reaches all of its destinations before any later frame
+//! reaches any of its destinations.
+
+use auros_bus::proto::{ChanEnd, ChannelId, Side};
+use auros_bus::{BusSchedule, DeliveryTag, Frame, Message, MsgId, Payload, Pid};
+use auros_sim::{Dur, VTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Reserved windows never overlap and never reorder.
+    #[test]
+    fn prop_windows_disjoint_and_ordered(
+        requests in proptest::collection::vec((0u64..10_000, 1u64..500, 0usize..4096), 1..300),
+    ) {
+        let mut bus = BusSchedule::new();
+        let mut prev_end = VTime::ZERO;
+        for (earliest, xmit, bytes) in requests {
+            let (start, end) =
+                bus.reserve(VTime(earliest), Dur(xmit), bytes).expect("healthy bus");
+            prop_assert!(start >= prev_end, "window starts inside an earlier one");
+            prop_assert!(start >= VTime(earliest), "window begins before the sender is ready");
+            prop_assert_eq!(end, start + Dur(xmit));
+            prev_end = end;
+        }
+    }
+
+    /// Counters account exactly for what was reserved.
+    #[test]
+    fn prop_counters_are_exact(
+        requests in proptest::collection::vec((1u64..100, 1usize..2048), 1..100),
+    ) {
+        let mut bus = BusSchedule::new();
+        let mut busy = 0u64;
+        let mut bytes_total = 0u64;
+        for (xmit, bytes) in &requests {
+            bus.reserve(VTime::ZERO, Dur(*xmit), *bytes);
+            busy += xmit;
+            bytes_total += *bytes as u64;
+        }
+        let c = bus.counters(auros_bus::BusKind::A);
+        prop_assert_eq!(c.frames, requests.len() as u64);
+        prop_assert_eq!(c.busy, busy);
+        prop_assert_eq!(c.bytes, bytes_total);
+    }
+
+    /// Frame wire size is monotone in payload and target count, so the
+    /// cost model can never be gamed by splitting.
+    #[test]
+    fn prop_wire_size_monotone(data_len in 0usize..4096, extra_targets in 0usize..3) {
+        let end = ChanEnd { channel: ChannelId(1), side: Side::A };
+        let base = Frame {
+            src_cluster: auros_bus::ClusterId(0),
+            targets: vec![(auros_bus::ClusterId(1), DeliveryTag::Primary(end))],
+            msg: Message {
+                id: MsgId(0),
+                src: Pid(1),
+                payload: Payload::Data(vec![0; data_len]),
+                nondet: vec![],
+            },
+        };
+        let mut bigger = base.clone();
+        bigger.msg.payload = Payload::Data(vec![0; data_len + 1]);
+        for i in 0..extra_targets {
+            bigger.targets.push((
+                auros_bus::ClusterId(2 + i as u16),
+                DeliveryTag::DestBackup(end),
+            ));
+        }
+        prop_assert!(bigger.wire_size() > base.wire_size());
+    }
+}

@@ -1,0 +1,112 @@
+//! The determinism oracle.
+//!
+//! §3.3's transparency promise, made testable: a run with a single
+//! injected hardware failure must be *externally indistinguishable* from
+//! the fault-free run — same exit statuses, same file contents, same
+//! terminal output. [`RunDigest`] captures exactly the externally
+//! visible record; the property tests compare digests across fault
+//! plans.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use auros_bus::Pid;
+
+/// The externally visible record of one run.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RunDigest {
+    /// Exit status of each spawned process (`None` = never finished).
+    /// Pids are derivation-stable, so they match across runs of the
+    /// same workload.
+    pub exits: BTreeMap<Pid, Option<u64>>,
+    /// Every file's contents, by name.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Committed output of each terminal.
+    pub terminals: Vec<Vec<u8>>,
+}
+
+impl RunDigest {
+    /// Returns the pids whose statuses differ between two digests.
+    pub fn exit_differences(&self, other: &RunDigest) -> Vec<Pid> {
+        let keys: std::collections::BTreeSet<Pid> =
+            self.exits.keys().chain(other.exits.keys()).copied().collect();
+        keys.into_iter()
+            .filter(|p| self.exits.get(p) != other.exits.get(p))
+            .collect()
+    }
+
+    /// A stable short fingerprint for logging.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for (pid, status) in &self.exits {
+            mix(&pid.0.to_le_bytes());
+            mix(&status.unwrap_or(u64::MAX).to_le_bytes());
+        }
+        for (name, data) in &self.files {
+            mix(name.as_bytes());
+            mix(data);
+        }
+        for t in &self.terminals {
+            mix(t);
+        }
+        h
+    }
+}
+
+impl fmt::Debug for RunDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RunDigest {{ fingerprint: {:#018x}", self.fingerprint())?;
+        for (pid, status) in &self.exits {
+            writeln!(f, "  exit {pid}: {status:?}")?;
+        }
+        for (name, data) in &self.files {
+            writeln!(f, "  file {name}: {} bytes", data.len())?;
+        }
+        for (i, t) in self.terminals.iter().enumerate() {
+            writeln!(f, "  tty{i}: {:?}", String::from_utf8_lossy(t))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(status: u64) -> RunDigest {
+        RunDigest {
+            exits: [(Pid(1), Some(status))].into_iter().collect(),
+            files: [("/a".to_string(), vec![1, 2])].into_iter().collect(),
+            terminals: vec![b"hi".to_vec()],
+        }
+    }
+
+    #[test]
+    fn equal_digests_have_equal_fingerprints() {
+        assert_eq!(digest(5), digest(5));
+        assert_eq!(digest(5).fingerprint(), digest(5).fingerprint());
+    }
+
+    #[test]
+    fn differing_exits_are_reported() {
+        let a = digest(5);
+        let b = digest(6);
+        assert_ne!(a, b);
+        assert_eq!(a.exit_differences(&b), vec![Pid(1)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn missing_pid_counts_as_difference() {
+        let a = digest(5);
+        let mut b = digest(5);
+        b.exits.insert(Pid(2), None);
+        assert_eq!(a.exit_differences(&b), vec![Pid(2)]);
+    }
+}

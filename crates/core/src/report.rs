@@ -1,0 +1,74 @@
+//! Human-readable run reports.
+//!
+//! §8 of the paper is an accounting argument — *where* does the overhead
+//! of fault tolerance land? [`render`] turns a finished run's ledgers
+//! into the same split the paper argues about: work-processor time,
+//! executive-processor time, bus traffic, syncs, and recovery activity,
+//! per cluster.
+
+use std::fmt::Write as _;
+
+use crate::System;
+
+/// Renders a run summary from the system's ledgers.
+pub fn render(sys: &System) -> String {
+    let s = &sys.world.stats;
+    let mut out = String::new();
+    let now = s.now.ticks().max(1);
+    let _ = writeln!(out, "run summary at t={}", s.now);
+    let _ = writeln!(
+        out,
+        "  bus: {} frames, {} bytes, {}% utilized",
+        s.bus_frames,
+        s.bus_bytes,
+        s.bus_busy.as_ticks() * 100 / now
+    );
+    let _ = writeln!(
+        out,
+        "  {:<9} {:>10} {:>10} {:>9} {:>7} {:>7} {:>11} {:>11}",
+        "cluster", "work_busy", "exec_busy", "crash", "syncs", "promos", "msgs(prim)", "msgs(bkup)"
+    );
+    for (i, c) in s.clusters.iter().enumerate() {
+        let alive = if sys.world.clusters[i].alive { "" } else { " DOWN" };
+        let _ = writeln!(
+            out,
+            "  c{i:<8} {:>10} {:>10} {:>9} {:>7} {:>7} {:>11} {:>11}{alive}",
+            c.work_busy.as_ticks(),
+            c.exec_busy.as_ticks(),
+            c.crash_busy.as_ticks(),
+            c.syncs,
+            c.promotions,
+            c.primary_msgs,
+            c.backup_msgs,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  totals: {} syncs, {} pages flushed, {} suppressed duplicate sends, {} exits",
+        s.total_syncs(),
+        s.clusters.iter().map(|c| c.pages_flushed).sum::<u64>(),
+        s.total_suppressed(),
+        s.exits
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{programs, SystemBuilder, VTime};
+
+    #[test]
+    fn report_covers_every_cluster_and_totals() {
+        let mut b = SystemBuilder::new(3);
+        b.spawn(0, programs::pingpong("r", 30, true));
+        b.spawn(1, programs::pingpong("r", 30, false));
+        b.crash_at(VTime(5_000), 2);
+        let mut sys = b.build();
+        assert!(sys.run(VTime(100_000_000)));
+        let r = render(&sys);
+        for c in ["c0", "c1", "c2", "DOWN", "totals:", "bus:"] {
+            assert!(r.contains(c), "missing {c} in:\n{r}");
+        }
+    }
+}

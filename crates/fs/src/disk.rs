@@ -1,0 +1,208 @@
+//! The dual-ported, mirrored, shadow-block disk pair (§7.1, §7.9).
+//!
+//! "Disks are connected in pairs to facilitate mirrored files" and every
+//! peripheral is dual-ported — reachable from the two clusters its
+//! servers run in, so the device state survives either cluster's crash.
+//!
+//! Shadow semantics: block writes land in a *working* overlay; the
+//! *committed* image is the file system as of the controlling server's
+//! last sync. "An old copy, i.e., in the state as of last sync, cannot
+//! be destroyed until the sync is complete" (§7.9) — commit happens when
+//! the server's sync message is applied at its backup, and a promoted
+//! backup reverts the overlay before replaying requests.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use auros_kernel::server::Device;
+
+/// Bytes per disk block.
+pub const BLOCK_SIZE: usize = 512;
+
+/// A disk block number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockNo(pub u64);
+
+/// Per-physical-disk health and traffic counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskCounters {
+    /// Blocks written.
+    pub writes: u64,
+    /// Blocks read.
+    pub reads: u64,
+    /// Whether this half of the mirror has failed.
+    pub failed: bool,
+}
+
+/// A mirrored pair of disks with shadow-block versioning.
+///
+/// # Examples
+///
+/// ```
+/// use auros_fs::disk::{BlockNo, DiskPair};
+/// use auros_kernel::server::Device;
+///
+/// let mut d = DiskPair::new();
+/// d.write_block(BlockNo(7), vec![1, 2, 3]);
+/// d.on_owner_sync();               // The server synced: commit.
+/// d.write_block(BlockNo(7), vec![9]);
+/// d.on_owner_promote();            // Crash: uncommitted state reverts.
+/// assert_eq!(d.read_block(BlockNo(7)).unwrap(), &[1, 2, 3]);
+/// ```
+#[derive(Debug, Default)]
+pub struct DiskPair {
+    /// Blocks as of the last completed server sync.
+    committed: BTreeMap<BlockNo, Vec<u8>>,
+    /// Blocks written since (the shadow overlay).
+    working: BTreeMap<BlockNo, Vec<u8>>,
+    /// Counters for mirror A.
+    pub a: DiskCounters,
+    /// Counters for mirror B.
+    pub b: DiskCounters,
+    /// Commits performed (server syncs).
+    pub commits: u64,
+    /// Reverts performed (promotions).
+    pub reverts: u64,
+}
+
+impl DiskPair {
+    /// An empty disk pair.
+    pub fn new() -> DiskPair {
+        DiskPair::default()
+    }
+
+    /// Writes one block into the working overlay; both mirrors record
+    /// the write (unless failed).
+    pub fn write_block(&mut self, bno: BlockNo, data: Vec<u8>) {
+        debug_assert!(data.len() <= BLOCK_SIZE);
+        if !self.a.failed {
+            self.a.writes += 1;
+        }
+        if !self.b.failed {
+            self.b.writes += 1;
+        }
+        self.working.insert(bno, data);
+    }
+
+    /// Reads one block: the working overlay wins, else the committed
+    /// image. Reads are served by whichever mirror is healthy.
+    pub fn read_block(&mut self, bno: BlockNo) -> Option<&[u8]> {
+        if self.a.failed && self.b.failed {
+            return None; // Double media failure: outside the fault model.
+        }
+        if !self.a.failed {
+            self.a.reads += 1;
+        } else {
+            self.b.reads += 1;
+        }
+        self.working.get(&bno).or_else(|| self.committed.get(&bno)).map(|v| v.as_slice())
+    }
+
+    /// Fails one mirror; the pair keeps operating on the other.
+    pub fn fail_mirror(&mut self, second: bool) {
+        if second {
+            self.b.failed = true;
+        } else {
+            self.a.failed = true;
+        }
+    }
+
+    /// Number of blocks with two physical versions right now (changed
+    /// since the last sync, §7.9).
+    pub fn shadowed_blocks(&self) -> usize {
+        self.working.keys().filter(|b| self.committed.contains_key(b)).count()
+    }
+
+    /// Number of blocks in the working overlay.
+    pub fn dirty_blocks(&self) -> usize {
+        self.working.len()
+    }
+
+    /// The committed view of a block (test oracle).
+    pub fn committed_block(&self, bno: BlockNo) -> Option<&[u8]> {
+        self.committed.get(&bno).map(|v| v.as_slice())
+    }
+}
+
+impl Device for DiskPair {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    /// The controlling server's sync completed: the working overlay
+    /// becomes the committed image; old copies may now be destroyed
+    /// (§7.9).
+    fn on_owner_sync(&mut self) {
+        self.commits += 1;
+        let working = std::mem::take(&mut self.working);
+        self.committed.extend(working);
+    }
+
+    /// The backup was promoted: uncommitted writes are discarded; the
+    /// replayed requests will regenerate them deterministically (§7.9).
+    fn on_owner_promote(&mut self) {
+        self.reverts += 1;
+        self.working.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_shadow_until_commit() {
+        let mut d = DiskPair::new();
+        d.write_block(BlockNo(1), vec![1]);
+        d.on_owner_sync();
+        d.write_block(BlockNo(1), vec![2]);
+        assert_eq!(d.read_block(BlockNo(1)).unwrap(), &[2]);
+        assert_eq!(d.committed_block(BlockNo(1)).unwrap(), &[1], "old copy preserved");
+        assert_eq!(d.shadowed_blocks(), 1);
+    }
+
+    #[test]
+    fn revert_discards_uncommitted_writes() {
+        let mut d = DiskPair::new();
+        d.write_block(BlockNo(1), vec![1]);
+        d.on_owner_sync();
+        d.write_block(BlockNo(1), vec![2]);
+        d.write_block(BlockNo(2), vec![3]);
+        d.on_owner_promote();
+        assert_eq!(d.read_block(BlockNo(1)).unwrap(), &[1]);
+        assert!(d.read_block(BlockNo(2)).is_none());
+        assert_eq!(d.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn commit_makes_working_durable() {
+        let mut d = DiskPair::new();
+        d.write_block(BlockNo(5), vec![9]);
+        d.on_owner_sync();
+        d.on_owner_promote(); // Revert after commit: nothing to lose.
+        assert_eq!(d.read_block(BlockNo(5)).unwrap(), &[9]);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.reverts, 1);
+    }
+
+    #[test]
+    fn mirror_failure_keeps_pair_operational() {
+        let mut d = DiskPair::new();
+        d.write_block(BlockNo(1), vec![1]);
+        d.fail_mirror(false);
+        assert_eq!(d.read_block(BlockNo(1)).unwrap(), &[1]);
+        assert_eq!(d.b.reads, 1, "reads fail over to the healthy mirror");
+        d.fail_mirror(true);
+        assert!(d.read_block(BlockNo(1)).is_none(), "double failure loses the device");
+    }
+
+    #[test]
+    fn missing_block_reads_none() {
+        let mut d = DiskPair::new();
+        assert!(d.read_block(BlockNo(42)).is_none());
+    }
+}

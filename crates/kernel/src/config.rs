@@ -1,0 +1,232 @@
+//! System configuration and the cost model.
+//!
+//! The cost model calibrates *where* virtual time is spent. Absolute
+//! values are nominal 1983-ish magnitudes (1 tick ≈ 1 µs); the
+//! experiments in `EXPERIMENTS.md` depend only on the ratios — e.g. that
+//! a bus transmission is much cheaper than copying a data space, which is
+//! the heart of the paper's argument against explicit checkpointing (§2).
+
+use auros_bus::proto::BackupMode;
+use auros_sim::Dur;
+
+/// Per-operation virtual-time costs.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Fixed bus acquisition + arbitration latency per frame.
+    pub bus_latency: Dur,
+    /// Transmission time per 16 bytes of frame.
+    pub bus_per_16_bytes: Dur,
+    /// Executive-processor time to take one frame from the outgoing
+    /// queue and start transmission (§7.4.2 step 2).
+    pub exec_send: Dur,
+    /// Executive-processor time to receive and distribute one delivery
+    /// tag of an incoming frame (§7.4.2; §8.1 bills this to the
+    /// executive, never to a work processor).
+    pub exec_recv: Dur,
+    /// Fixed work-processor time for entering and leaving a system call.
+    pub syscall_fixed: Dur,
+    /// Work-processor copy cost per 64 bytes moved between guest memory
+    /// and a message.
+    pub copy_per_64_bytes: Dur,
+    /// Work-processor time to place one dirty page on the outgoing queue
+    /// at sync (§7.8 part one).
+    pub page_enqueue: Dur,
+    /// Work-processor time to build and enqueue the sync message itself
+    /// (§7.8 part two).
+    pub sync_build: Dur,
+    /// Context-switch cost charged when a process is dispatched.
+    pub dispatch: Dur,
+    /// Work-processor time for a server to handle one request, before
+    /// payload-dependent additions.
+    pub server_handle: Dur,
+    /// Fixed duration of the two high-priority crash-handling processes
+    /// (§7.10.1), plus a per-routing-entry scan cost.
+    pub crash_fixed: Dur,
+    /// Per-routing-entry crash-scan cost.
+    pub crash_per_entry: Dur,
+    /// Failure-detector polling interval (§7.10: "periodic polling of
+    /// every cluster will discover the shutdown").
+    pub poll_interval: Dur,
+    /// Interval of kernel reports to the process server (§7.6).
+    pub report_interval: Dur,
+    /// Executive time to create one backup PCB or routing entry.
+    pub exec_backup_maintenance: Dur,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            bus_latency: Dur(20),
+            bus_per_16_bytes: Dur(1),
+            exec_send: Dur(5),
+            exec_recv: Dur(4),
+            syscall_fixed: Dur(10),
+            copy_per_64_bytes: Dur(1),
+            page_enqueue: Dur(12),
+            sync_build: Dur(25),
+            dispatch: Dur(5),
+            server_handle: Dur(15),
+            crash_fixed: Dur(2_000),
+            crash_per_entry: Dur(2),
+            poll_interval: Dur(5_000),
+            report_interval: Dur(20_000),
+            exec_backup_maintenance: Dur(8),
+        }
+    }
+}
+
+impl CostModel {
+    /// Bus transmission time for a frame of `bytes` bytes.
+    pub fn bus_xmit(&self, bytes: usize) -> Dur {
+        self.bus_latency + self.bus_per_16_bytes.saturating_mul(bytes.div_ceil(16) as u64)
+    }
+
+    /// Guest/kernel copy cost for `bytes` bytes.
+    pub fn copy(&self, bytes: usize) -> Dur {
+        self.copy_per_64_bytes.saturating_mul(bytes.div_ceil(64) as u64)
+    }
+}
+
+/// Which fault-tolerance strategy the kernel runs (§2's design space).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FtStrategy {
+    /// The paper's contribution: three-way message delivery to inactive
+    /// backups with periodic synchronization (§5).
+    #[default]
+    MessageSystem,
+    /// §2's explicit-checkpointing comparator: the primary's entire data
+    /// space is copied to the backup cluster before every send (the
+    /// consistency-preserving discipline), blocking the primary for the
+    /// copy — "the frequent copying of the primary's data space slows
+    /// down the primary and uses up a large portion of the added
+    /// computing power."
+    Checkpoint,
+    /// No fault tolerance at all (the utilization reference point).
+    None,
+}
+
+/// Ablation switches: each disables one invariant the design rests on,
+/// so the benches can demonstrate what breaks without it (E10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ablations {
+    /// Disable §5.4 duplicate-send suppression: a promoted backup
+    /// re-sends everything it replays.
+    pub no_suppression: bool,
+    /// Break §5.1's atomic multi-destination delivery: each target
+    /// receives its copy at a slightly different (deterministically
+    /// jittered) time, so a primary and its backup may observe different
+    /// message orders.
+    pub no_atomic_delivery: bool,
+}
+
+/// Whole-system configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of clusters (the paper supports 2–32).
+    pub clusters: u16,
+    /// Work processors per cluster (the Auragen 4000 has two).
+    pub work_processors: u8,
+    /// Scheduling quantum, in fuel units (≈ instructions).
+    pub quantum: u64,
+    /// Virtual ticks per fuel unit.
+    pub ticks_per_fuel: u64,
+    /// Sync trigger: reads since last sync (§7.8; tunable per system).
+    pub sync_max_reads: u64,
+    /// Sync trigger: fuel executed since last sync (§7.8's execution
+    /// time interval).
+    pub sync_max_fuel: u64,
+    /// Default backup mode for user processes (§7.3: quarterback).
+    pub default_mode: BackupMode,
+    /// Optional per-process resident-page limit; exceeding it evicts
+    /// pages through the page server.
+    pub resident_page_limit: Option<usize>,
+    /// The fault-tolerance strategy (experiments E1/E3/E9 compare them).
+    pub strategy: FtStrategy,
+    /// Ablation switches (all off in normal operation).
+    pub ablations: Ablations,
+    /// Cost model.
+    pub costs: CostModel,
+    /// Random seed for workload components that ask the world for one.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            clusters: 3,
+            work_processors: 2,
+            quantum: 500,
+            ticks_per_fuel: 1,
+            sync_max_reads: 32,
+            sync_max_fuel: 50_000,
+            default_mode: BackupMode::Quarterback,
+            resident_page_limit: None,
+            strategy: FtStrategy::MessageSystem,
+            ablations: Ablations::default(),
+            costs: CostModel::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl Config {
+    /// Whether message-system backups are maintained.
+    pub fn ft_enabled(&self) -> bool {
+        self.strategy == FtStrategy::MessageSystem
+    }
+
+    /// A minimal two-cluster configuration.
+    pub fn small() -> Config {
+        Config { clusters: 2, ..Config::default() }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters < 2 {
+            return Err("at least two clusters are required for backups".into());
+        }
+        if self.clusters > 32 {
+            return Err("the Auragen 4000 supports at most 32 clusters".into());
+        }
+        if self.work_processors == 0 {
+            return Err("each cluster needs at least one work processor".into());
+        }
+        if self.quantum == 0 {
+            return Err("quantum must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(Config::default().validate().is_ok());
+        assert!(Config::small().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(Config { clusters: 1, ..Config::default() }.validate().is_err());
+        assert!(Config { clusters: 64, ..Config::default() }.validate().is_err());
+        assert!(Config { work_processors: 0, ..Config::default() }.validate().is_err());
+        assert!(Config { quantum: 0, ..Config::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn bus_cost_scales_with_size() {
+        let c = CostModel::default();
+        assert!(c.bus_xmit(1024) > c.bus_xmit(16));
+        assert_eq!(c.bus_xmit(0), c.bus_latency);
+    }
+
+    #[test]
+    fn copy_cost_rounds_up() {
+        let c = CostModel::default();
+        assert_eq!(c.copy(1), c.copy(64));
+        assert!(c.copy(65) > c.copy(64));
+    }
+}

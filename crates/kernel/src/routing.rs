@@ -1,0 +1,422 @@
+//! The routing table (§7.4.1).
+//!
+//! "An entry in a cluster-local table, the routing table, defines one end
+//! of a channel … A channel between two backed up processes consists of
+//! four routing table entries, one for each primary and one for each
+//! backup." Primary entries hold the live message queue and the
+//! reads-since-sync count; backup entries hold the *saved* queue (read
+//! only upon rollforward) and the writes-since-sync count that drives
+//! duplicate-send suppression (§5.4).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use auros_bus::proto::{BackupMode, ChanEnd, ChanKind, ChannelInit};
+use auros_bus::{ClusterId, Message, Pid};
+
+/// A message queued on an entry, with its cluster-arrival sequence number
+/// (§7.5.1: "Messages are given sequence numbers on arrival at a cluster
+/// so that the behavior of `which` can be replicated by the backup").
+#[derive(Clone, Debug)]
+pub struct Queued {
+    /// Arrival sequence, unique per cluster and monotonically increasing.
+    pub arrival_seq: u64,
+    /// The message.
+    pub msg: Message,
+}
+
+/// A primary routing-table entry: one live end of a channel.
+#[derive(Debug)]
+pub struct Entry {
+    /// Owning process.
+    pub owner: Pid,
+    /// Channel kind.
+    pub kind: ChanKind,
+    /// Incoming queue, FIFO in arrival order.
+    pub queue: VecDeque<Queued>,
+    /// Reads done since the owner's last sync (reported in sync records
+    /// so the backup can discard consumed messages, §5.2).
+    pub reads_since_sync: u64,
+    /// Peer process, if a two-ended channel.
+    pub peer: Option<Pid>,
+    /// Cluster hosting the peer's primary entry (updated by crash
+    /// handling when the peer's backup takes over, §7.10.1 step 1).
+    pub peer_primary: Option<ClusterId>,
+    /// Cluster hosting the peer's backup entry.
+    pub peer_backup: Option<ClusterId>,
+    /// Cluster hosting the owner's backup entry.
+    pub owner_backup: Option<ClusterId>,
+    /// `false` while the peer is a fullback awaiting a new backup; writes
+    /// block until notification arrives (§7.10.1).
+    pub usable: bool,
+    /// The peer exited or closed its end: writes fail, reads drain the
+    /// remaining queue then fail.
+    pub peer_closed: bool,
+    /// The peer's backup mode (drives unusable-marking at crashes).
+    pub peer_mode: BackupMode,
+    /// Remaining sends to suppress during rollforward: initialized from
+    /// the backup entry's writes-since-sync count at promotion (§5.4).
+    pub suppress_writes: u64,
+}
+
+impl Entry {
+    /// Creates an empty live entry from an init descriptor.
+    pub fn from_init(init: &ChannelInit) -> Entry {
+        Entry {
+            owner: init.owner,
+            kind: init.kind,
+            queue: VecDeque::new(),
+            reads_since_sync: 0,
+            peer: init.peer,
+            peer_primary: init.peer_primary,
+            peer_backup: init.peer_backup,
+            owner_backup: init.owner_backup,
+            usable: true,
+            peer_closed: false,
+            peer_mode: init.peer_mode,
+            suppress_writes: 0,
+        }
+    }
+}
+
+/// A backup routing-table entry: saved messages and the write count.
+#[derive(Debug)]
+pub struct BackupEntry {
+    /// Owning process (whose backup lives in this cluster).
+    pub owner: Pid,
+    /// Channel kind.
+    pub kind: ChanKind,
+    /// Saved queue, read only upon rollforward after a failure (§5.1).
+    pub queue: VecDeque<Queued>,
+    /// Messages sent by the primary since its last sync (§5.4). Zeroed
+    /// when a sync message arrives (§5.2).
+    pub writes_since_sync: u64,
+    /// Peer process.
+    pub peer: Option<Pid>,
+    /// Cluster hosting the peer's primary entry.
+    pub peer_primary: Option<ClusterId>,
+    /// Cluster hosting the peer's backup entry.
+    pub peer_backup: Option<ClusterId>,
+    /// The peer exited or closed its end.
+    pub peer_closed: bool,
+    /// The peer's backup mode.
+    pub peer_mode: BackupMode,
+}
+
+impl BackupEntry {
+    /// Creates an empty backup entry from an init descriptor.
+    pub fn from_init(init: &ChannelInit) -> BackupEntry {
+        BackupEntry {
+            owner: init.owner,
+            kind: init.kind,
+            queue: VecDeque::new(),
+            writes_since_sync: 0,
+            peer: init.peer,
+            peer_primary: init.peer_primary,
+            peer_backup: init.peer_backup,
+            peer_closed: false,
+            peer_mode: init.peer_mode,
+        }
+    }
+
+    /// Converts into a live entry at promotion (§7.10.2): the saved queue
+    /// becomes the live queue and the write count becomes the suppression
+    /// budget.
+    pub fn promote(self, owner_backup: Option<ClusterId>) -> Entry {
+        Entry {
+            owner: self.owner,
+            kind: self.kind,
+            queue: self.queue,
+            reads_since_sync: 0,
+            peer: self.peer,
+            peer_primary: self.peer_primary,
+            peer_backup: self.peer_backup,
+            owner_backup,
+            usable: true,
+            peer_closed: self.peer_closed,
+            peer_mode: self.peer_mode,
+            suppress_writes: self.writes_since_sync,
+        }
+    }
+}
+
+/// One cluster's routing table.
+///
+/// `BTreeMap` rather than `HashMap`: scans (crash handling walks every
+/// entry) must be deterministic.
+#[derive(Debug, Default)]
+pub struct RoutingTable {
+    /// Live ends whose owner's primary runs in this cluster.
+    pub primary: BTreeMap<ChanEnd, Entry>,
+    /// Saved ends whose owner's backup lives in this cluster.
+    pub backup: BTreeMap<ChanEnd, BackupEntry>,
+    /// Next arrival sequence number.
+    next_arrival: u64,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> RoutingTable {
+        RoutingTable::default()
+    }
+
+    /// Stamps the next arrival sequence number.
+    pub fn stamp(&mut self) -> u64 {
+        let s = self.next_arrival;
+        self.next_arrival += 1;
+        s
+    }
+
+    /// Total number of entries (for crash-scan cost accounting).
+    pub fn len(&self) -> usize {
+        self.primary.len() + self.backup.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty() && self.backup.is_empty()
+    }
+
+    /// All live ends owned by `pid`, in deterministic order.
+    pub fn ends_of(&self, pid: Pid) -> Vec<ChanEnd> {
+        self.primary.iter().filter(|(_, e)| e.owner == pid).map(|(end, _)| *end).collect()
+    }
+
+    /// All backup ends owned by `pid`, in deterministic order.
+    pub fn backup_ends_of(&self, pid: Pid) -> Vec<ChanEnd> {
+        self.backup.iter().filter(|(_, e)| e.owner == pid).map(|(end, _)| *end).collect()
+    }
+
+    /// Crash-handling step 1 (§7.10.1): replace references to a crashed
+    /// cluster with the corresponding backup cluster; mark channels to
+    /// fullback peers unusable until a new backup is announced; mark
+    /// peers that had no backup as gone.
+    pub fn repair_after_crash(&mut self, dead: ClusterId) -> RepairOutcome {
+        let mut out = RepairOutcome::default();
+        for (end, e) in self.primary.iter_mut() {
+            if e.peer_primary == Some(dead) {
+                match e.peer_backup.take() {
+                    Some(b) => {
+                        e.peer_primary = Some(b);
+                        out.moved.push(*end);
+                        if e.peer_mode == auros_bus::proto::BackupMode::Fullback {
+                            e.usable = false;
+                            if let Some(peer) = e.peer {
+                                out.unusable.push((*end, peer));
+                            }
+                        }
+                    }
+                    None => {
+                        e.peer_primary = None;
+                        e.peer_closed = true;
+                        out.orphaned.push(*end);
+                    }
+                }
+            } else if e.peer_backup == Some(dead) {
+                // The peer lost its backup; stop sending backup copies.
+                e.peer_backup = None;
+            }
+            if e.owner_backup == Some(dead) {
+                e.owner_backup = None;
+            }
+        }
+        for e in self.backup.values_mut() {
+            if e.peer_primary == Some(dead) {
+                match e.peer_backup.take() {
+                    Some(b) => e.peer_primary = Some(b),
+                    None => {
+                        e.peer_primary = None;
+                        e.peer_closed = true;
+                    }
+                }
+            } else if e.peer_backup == Some(dead) {
+                e.peer_backup = None;
+            }
+        }
+        out
+    }
+}
+
+impl RoutingTable {
+    /// §10 extension: one peer process failed (its cluster survives).
+    /// Entries whose peer is `pid` move to the peer's backup cluster,
+    /// with the same fullback/orphan handling as a whole-cluster repair.
+    pub fn repair_failed_peer(&mut self, pid: Pid) -> RepairOutcome {
+        let mut out = RepairOutcome::default();
+        for (end, e) in self.primary.iter_mut() {
+            if e.peer != Some(pid) {
+                continue;
+            }
+            match e.peer_backup.take() {
+                Some(b) => {
+                    e.peer_primary = Some(b);
+                    out.moved.push(*end);
+                    if e.peer_mode == auros_bus::proto::BackupMode::Fullback {
+                        e.usable = false;
+                        out.unusable.push((*end, pid));
+                    }
+                }
+                None => {
+                    e.peer_primary = None;
+                    e.peer_closed = true;
+                    out.orphaned.push(*end);
+                }
+            }
+        }
+        for e in self.backup.values_mut() {
+            if e.peer != Some(pid) {
+                continue;
+            }
+            match e.peer_backup.take() {
+                Some(b) => e.peer_primary = Some(b),
+                None => {
+                    e.peer_primary = None;
+                    e.peer_closed = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// What a routing-table crash repair found (§7.10.1 step 1).
+#[derive(Debug, Default)]
+pub struct RepairOutcome {
+    /// Ends whose peer's primary moved to its backup cluster.
+    pub moved: Vec<ChanEnd>,
+    /// Ends marked unusable because the peer is a fullback awaiting a new
+    /// backup, with the peer pid.
+    pub unusable: Vec<(ChanEnd, Pid)>,
+    /// Ends whose peer is gone for good (no backup existed).
+    pub orphaned: Vec<ChanEnd>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auros_bus::proto::{ChannelId, Side};
+    use auros_bus::{Frame, MsgId, Payload};
+
+    fn init(owner: Pid, peer_primary: Option<ClusterId>) -> ChannelInit {
+        ChannelInit {
+            end: ChanEnd { channel: ChannelId(9), side: Side::A },
+            owner,
+            fd: None,
+            peer: Some(Pid(2)),
+            peer_primary,
+            peer_backup: Some(ClusterId(2)),
+            owner_backup: Some(ClusterId(1)),
+            peer_mode: auros_bus::proto::BackupMode::Quarterback,
+            kind: ChanKind::UserUser,
+        }
+    }
+
+    fn queued(seq: u64) -> Queued {
+        Queued {
+            arrival_seq: seq,
+            msg: Message { id: MsgId(seq), src: Pid(2), payload: Payload::Data(vec![]), nondet: vec![] },
+        }
+    }
+
+    #[test]
+    fn arrival_stamps_are_monotonic() {
+        let mut rt = RoutingTable::new();
+        assert_eq!(rt.stamp(), 0);
+        assert_eq!(rt.stamp(), 1);
+        assert_eq!(rt.stamp(), 2);
+    }
+
+    #[test]
+    fn promotion_carries_queue_and_write_count() {
+        let mut be = BackupEntry::from_init(&init(Pid(1), Some(ClusterId(0))));
+        be.queue.push_back(queued(5));
+        be.queue.push_back(queued(6));
+        be.writes_since_sync = 3;
+        let e = be.promote(None);
+        assert_eq!(e.queue.len(), 2);
+        assert_eq!(e.suppress_writes, 3);
+        assert_eq!(e.reads_since_sync, 0);
+        assert!(e.usable);
+    }
+
+    #[test]
+    fn repair_moves_peer_to_backup_cluster() {
+        let mut rt = RoutingTable::new();
+        let i = init(Pid(1), Some(ClusterId(0)));
+        rt.primary.insert(i.end, Entry::from_init(&i));
+        let out = rt.repair_after_crash(ClusterId(0));
+        assert_eq!(out.moved, vec![i.end]);
+        assert!(out.unusable.is_empty(), "quarterback peers stay usable");
+        let e = &rt.primary[&i.end];
+        assert_eq!(e.peer_primary, Some(ClusterId(2)));
+        assert_eq!(e.peer_backup, None, "the promoted peer has no backup yet");
+        assert!(e.usable);
+    }
+
+    #[test]
+    fn repair_marks_fullback_channels_unusable() {
+        let mut rt = RoutingTable::new();
+        let mut i = init(Pid(1), Some(ClusterId(0)));
+        i.peer_mode = auros_bus::proto::BackupMode::Fullback;
+        rt.primary.insert(i.end, Entry::from_init(&i));
+        let out = rt.repair_after_crash(ClusterId(0));
+        assert_eq!(out.unusable, vec![(i.end, Pid(2))]);
+        assert!(!rt.primary[&i.end].usable);
+    }
+
+    #[test]
+    fn repair_orphans_unprotected_peer() {
+        let mut rt = RoutingTable::new();
+        let mut i = init(Pid(1), Some(ClusterId(0)));
+        i.peer_backup = None;
+        rt.primary.insert(i.end, Entry::from_init(&i));
+        let out = rt.repair_after_crash(ClusterId(0));
+        assert_eq!(out.orphaned, vec![i.end]);
+        let e = &rt.primary[&i.end];
+        assert!(e.peer_closed);
+        assert_eq!(e.peer_primary, None);
+    }
+
+    #[test]
+    fn repair_clears_dead_backup_references() {
+        let mut rt = RoutingTable::new();
+        let i = init(Pid(1), Some(ClusterId(3)));
+        rt.primary.insert(i.end, Entry::from_init(&i));
+        rt.repair_after_crash(ClusterId(2));
+        let e = &rt.primary[&i.end];
+        assert_eq!(e.peer_primary, Some(ClusterId(3)), "peer primary untouched");
+        assert_eq!(e.peer_backup, None);
+        rt.repair_after_crash(ClusterId(1));
+        assert_eq!(rt.primary[&i.end].owner_backup, None);
+    }
+
+    #[test]
+    fn ends_of_filters_by_owner() {
+        let mut rt = RoutingTable::new();
+        let mut i1 = init(Pid(1), None);
+        let mut i2 = init(Pid(7), None);
+        i2.end = ChanEnd { channel: ChannelId(10), side: Side::B };
+        i2.owner = Pid(7);
+        i1.owner = Pid(1);
+        rt.primary.insert(i1.end, Entry::from_init(&i1));
+        rt.primary.insert(i2.end, Entry::from_init(&i2));
+        assert_eq!(rt.ends_of(Pid(1)), vec![i1.end]);
+        assert_eq!(rt.ends_of(Pid(7)), vec![i2.end]);
+        assert_eq!(rt.len(), 2);
+    }
+
+    #[test]
+    fn frame_check_invariant_holds_for_three_way() {
+        // Sanity cross-check with the bus crate's invariant.
+        let end = ChanEnd { channel: ChannelId(1), side: Side::B };
+        let f = Frame {
+            src_cluster: ClusterId(0),
+            targets: vec![
+                (ClusterId(1), auros_bus::DeliveryTag::Primary(end)),
+                (ClusterId(2), auros_bus::DeliveryTag::DestBackup(end)),
+                (ClusterId(1), auros_bus::DeliveryTag::SenderBackup(end.peer())),
+            ],
+            msg: Message { id: MsgId(0), src: Pid(1), payload: Payload::Data(vec![1]), nondet: vec![] },
+        };
+        assert!(f.check_invariants().is_ok());
+    }
+}

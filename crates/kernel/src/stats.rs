@@ -1,0 +1,110 @@
+//! Time and event ledgers.
+//!
+//! §8 of the paper argues about *where* the overhead of fault tolerance
+//! lands: backup message copies are absorbed by the executive processor
+//! (§8.1), backup maintenance is the executive's job (§8.2), sync delays
+//! the primary only for enqueue time (§8.3). The ledgers here let the
+//! benches measure exactly those splits.
+
+use auros_sim::{Dur, VTime};
+
+/// Per-cluster accounting.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterStats {
+    /// Work-processor busy time (user execution + syscalls + servers).
+    pub work_busy: Dur,
+    /// Executive-processor busy time (message send/receive/distribution,
+    /// backup maintenance).
+    pub exec_busy: Dur,
+    /// Work-processor time spent inside crash handling (§7.10.1).
+    pub crash_busy: Dur,
+    /// Frames transmitted by this cluster.
+    pub frames_sent: u64,
+    /// Delivery tags processed (a 3-way frame counts up to 3 across the
+    /// system).
+    pub deliveries: u64,
+    /// Messages enqueued for primary destinations.
+    pub primary_msgs: u64,
+    /// Messages saved for destination backups.
+    pub backup_msgs: u64,
+    /// Sender-backup write-count increments.
+    pub write_counts: u64,
+    /// Sync operations performed by primaries in this cluster.
+    pub syncs: u64,
+    /// Full data-space checkpoints (the §2 comparator strategy).
+    pub checkpoints: u64,
+    /// Dirty pages flushed at sync.
+    pub pages_flushed: u64,
+    /// Page faults serviced.
+    pub page_faults: u64,
+    /// Backup processes created here.
+    pub backups_created: u64,
+    /// Backups promoted to primary here.
+    pub promotions: u64,
+    /// Messages whose re-send was suppressed during rollforward (§5.4).
+    pub suppressed_sends: u64,
+}
+
+/// Whole-world accounting.
+#[derive(Clone, Debug, Default)]
+pub struct WorldStats {
+    /// Per-cluster ledgers, indexed by cluster id.
+    pub clusters: Vec<ClusterStats>,
+    /// Bus frames transmitted.
+    pub bus_frames: u64,
+    /// Bus payload bytes.
+    pub bus_bytes: u64,
+    /// Bus busy ticks.
+    pub bus_busy: Dur,
+    /// Processes that exited normally.
+    pub exits: u64,
+    /// Cluster crashes handled.
+    pub crashes: u64,
+    /// Virtual time of the last processed event.
+    pub now: VTime,
+}
+
+impl WorldStats {
+    /// Creates ledgers for `n` clusters.
+    pub fn new(n: u16) -> WorldStats {
+        WorldStats { clusters: vec![ClusterStats::default(); n as usize], ..Default::default() }
+    }
+
+    /// Sum of work-processor busy time across clusters.
+    pub fn total_work_busy(&self) -> Dur {
+        self.clusters.iter().fold(Dur::ZERO, |a, c| a + c.work_busy)
+    }
+
+    /// Sum of executive busy time across clusters.
+    pub fn total_exec_busy(&self) -> Dur {
+        self.clusters.iter().fold(Dur::ZERO, |a, c| a + c.exec_busy)
+    }
+
+    /// Total sync operations.
+    pub fn total_syncs(&self) -> u64 {
+        self.clusters.iter().map(|c| c.syncs).sum()
+    }
+
+    /// Total suppressed duplicate sends.
+    pub fn total_suppressed(&self) -> u64 {
+        self.clusters.iter().map(|c| c.suppressed_sends).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_across_clusters() {
+        let mut s = WorldStats::new(3);
+        s.clusters[0].work_busy = Dur(10);
+        s.clusters[2].work_busy = Dur(5);
+        s.clusters[1].exec_busy = Dur(7);
+        s.clusters[0].syncs = 2;
+        s.clusters[1].syncs = 3;
+        assert_eq!(s.total_work_busy(), Dur(15));
+        assert_eq!(s.total_exec_busy(), Dur(7));
+        assert_eq!(s.total_syncs(), 5);
+    }
+}

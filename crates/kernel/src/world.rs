@@ -1,0 +1,980 @@
+//! The world: clusters, bus, devices, and the discrete-event loop.
+//!
+//! One [`World`] is one Auragen 4000 machine plus its workload. The event
+//! loop realizes the delivery semantics of §5.1/§7.4.2: a frame occupies
+//! an exclusive bus window and is handed to *all* of its live target
+//! clusters in a single `BusDeliver` event — all-or-none delivery with no
+//! interleaving, by construction.
+
+use std::collections::BTreeMap;
+
+use auros_bus::proto::{
+    BackupMode, ChanEnd, ChanKind, ChannelId, ChannelInit, PagerReply, Payload, ProcReply,
+    ProcRequest, ServiceKind, Side,
+};
+use auros_bus::proto::kernel_pid;
+use auros_bus::{BusSchedule, ClusterId, DeliveryTag, Frame, Message, MsgId, Pid};
+use auros_sim::{Dur, EventQueue, TraceCategory, TraceLog, VTime};
+
+use crate::cluster::{Cluster, PendingFrame};
+use crate::config::Config;
+use crate::process::ProcessState;
+use crate::routing::{BackupEntry, Entry, Queued};
+use crate::server::Device;
+use crate::stats::WorldStats;
+
+/// Slot indices of the per-process (and per-kernel) bootstrap channels.
+pub mod ports {
+    /// The signal channel (§7.5.2); B side owned by the process server.
+    pub const SIGNAL: u8 = 0;
+    /// The file server channel (§7.4.1).
+    pub const FS: u8 = 1;
+    /// The process server channel (§7.5.1).
+    pub const PROC: u8 = 2;
+}
+
+/// A simulation event.
+#[derive(Debug)]
+pub enum Event {
+    /// A frame completes transmission and reaches all live targets.
+    BusDeliver {
+        /// The frame.
+        frame: Frame,
+        /// When its bus window began (frames whose source crashed before
+        /// this never made it onto the bus).
+        xmit_start: VTime,
+    },
+    /// A user process's execution slice ended.
+    QuantumEnd {
+        /// Hosting cluster.
+        cluster: ClusterId,
+        /// The process.
+        pid: Pid,
+        /// Staleness guard.
+        token: u64,
+        /// How the slice ended.
+        exit: auros_vm::Exit,
+        /// Fuel consumed.
+        used: u64,
+    },
+    /// A server finished handling one message.
+    ServerDone {
+        /// Hosting cluster.
+        cluster: ClusterId,
+        /// The server.
+        pid: Pid,
+        /// Staleness guard.
+        token: u64,
+    },
+    /// A server timer fired.
+    ServerTimer {
+        /// Hosting cluster at arming time.
+        cluster: ClusterId,
+        /// The server.
+        pid: Pid,
+        /// The server's token for this timer.
+        timer_token: u64,
+    },
+    /// Try to dispatch runnable processes.
+    Dispatch {
+        /// The cluster.
+        cluster: ClusterId,
+    },
+    /// Make a process runnable (after kernel-service delay).
+    Wake {
+        /// Hosting cluster.
+        cluster: ClusterId,
+        /// The process.
+        pid: Pid,
+    },
+    /// A cluster suffers a total hardware failure (§3.1).
+    Crash {
+        /// The failing cluster.
+        cluster: ClusterId,
+    },
+    /// §10 extension: a hardware failure kills one process without
+    /// bringing its cluster down; only that process's backup is brought
+    /// up.
+    PartialFailure {
+        /// The failing process (located wherever it currently runs).
+        pid: Pid,
+    },
+    /// A crashed cluster returns to service (halfback re-protection,
+    /// §7.3).
+    Restore {
+        /// The returning cluster.
+        cluster: ClusterId,
+    },
+    /// One surviving cluster's crash-handling processes finish (§7.10.1).
+    CrashWorkDone {
+        /// The surviving cluster.
+        cluster: ClusterId,
+        /// The cluster that died.
+        dead: ClusterId,
+    },
+    /// The failure detector polls all clusters (§7.10).
+    PollTick,
+    /// A kernel reports its processes to the process server (§7.6).
+    ReportTick {
+        /// The reporting cluster.
+        cluster: ClusterId,
+    },
+    /// Scripted external input arrives at one terminal line.
+    TerminalInput {
+        /// Device index.
+        device: usize,
+        /// Line number within the interface module.
+        line: u32,
+        /// Bytes typed.
+        data: Vec<u8>,
+    },
+}
+
+/// How a send attempt on an entry ended.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum SendOutcome {
+    /// Frame enqueued for transmission.
+    Sent,
+    /// Suppressed: the failed primary had already sent this message
+    /// (§5.4).
+    Suppressed,
+    /// The peer is gone; nothing sent.
+    PeerGone,
+    /// The channel is unusable pending fullback re-creation (§7.10.1).
+    Unusable,
+}
+
+/// The whole simulated machine.
+///
+/// # Examples
+///
+/// A register-only process needs no servers, so a bare `World` can run
+/// it — and survive a crash of its cluster:
+///
+/// ```
+/// use auros_kernel::{Config, World};
+/// use auros_kernel::world::Event;
+/// use auros_bus::proto::BackupMode;
+/// use auros_bus::ClusterId;
+/// use auros_sim::VTime;
+/// use auros_vm::inst::regs::{R1, R4};
+/// use auros_vm::{ProgramBuilder, Sys};
+///
+/// let mut program = ProgramBuilder::new("double");
+/// program.li(R4, 21);
+/// program.add(R4, R4, R4);
+/// program.mov(R1, R4);
+/// program.trap(Sys::Exit);
+///
+/// let mut w = World::new(Config { clusters: 3, sync_max_fuel: 100, ..Config::default() });
+/// let pid = w.spawn_user(ClusterId(0), program.build(), BackupMode::Quarterback, None);
+/// w.queue.schedule(VTime(50), Event::Crash { cluster: ClusterId(0) });
+/// assert!(w.run_to_completion(VTime(10_000_000)));
+/// assert_eq!(w.exit_status(pid), Some(42));
+/// ```
+pub struct World {
+    /// Configuration.
+    pub cfg: Config,
+    /// Event queue (owns the clock).
+    pub queue: EventQueue<Event>,
+    /// The dual intercluster bus.
+    pub bus: BusSchedule,
+    /// The clusters.
+    pub clusters: Vec<Cluster>,
+    /// Ledgers.
+    pub stats: WorldStats,
+    /// Trace log.
+    pub trace: TraceLog,
+    /// Dual-ported devices (page store, disk pairs, terminals).
+    pub devices: Vec<Box<dyn Device>>,
+    /// Which device each peripheral server controls.
+    pub server_devices: BTreeMap<Pid, usize>,
+    /// Exit statuses of finished processes.
+    pub exits: BTreeMap<Pid, u64>,
+    /// Pids spawned directly (not forked), for completion queries.
+    pub spawned: Vec<Pid>,
+    /// Crashed clusters already announced to the survivors.
+    announced_crashes: Vec<ClusterId>,
+    next_msg_id: u64,
+    next_spawn: u64,
+    /// Live timer tokens per server pid (stale ones are dropped).
+    pub(crate) server_timers: BTreeMap<(Pid, u64), ClusterId>,
+    /// Buffered server-handler effects awaiting `ServerDone`.
+    pub(crate) pending_server_effects: BTreeMap<Pid, crate::syscall::ServerEffects>,
+}
+
+impl World {
+    /// Builds an empty world: clusters and bus, no servers or processes.
+    ///
+    /// Use the `auros` facade's builder for a fully-wired system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: Config) -> World {
+        cfg.validate().expect("invalid configuration");
+        let clusters =
+            (0..cfg.clusters).map(|i| Cluster::new(ClusterId(i), cfg.work_processors)).collect();
+        let mut w = World {
+            queue: EventQueue::new(),
+            bus: BusSchedule::new(),
+            clusters,
+            stats: WorldStats::new(cfg.clusters),
+            trace: TraceLog::new(),
+            devices: Vec::new(),
+            server_devices: BTreeMap::new(),
+            exits: BTreeMap::new(),
+            spawned: Vec::new(),
+            announced_crashes: Vec::new(),
+            next_msg_id: 0,
+            next_spawn: 0,
+            server_timers: BTreeMap::new(),
+            pending_server_effects: BTreeMap::new(),
+            cfg,
+        };
+        w.queue.schedule(VTime::ZERO + w.cfg.costs.poll_interval, Event::PollTick);
+        for i in 0..w.cfg.clusters {
+            let at = VTime::ZERO + w.cfg.costs.report_interval;
+            w.queue.schedule(at, Event::ReportTick { cluster: ClusterId(i) });
+        }
+        w
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.queue.now()
+    }
+
+    /// Cluster accessor.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.0 as usize]
+    }
+
+    /// Mutable cluster accessor.
+    pub fn cluster_mut(&mut self, id: ClusterId) -> &mut Cluster {
+        &mut self.clusters[id.0 as usize]
+    }
+
+    /// Allocates a fresh trace message id.
+    pub(crate) fn msg_id(&mut self) -> MsgId {
+        let id = MsgId(self.next_msg_id);
+        self.next_msg_id += 1;
+        id
+    }
+
+    /// An environmental nondeterministic value: depends on local time
+    /// and a per-world counter, so a replay that is free to re-decide
+    /// (nothing escaped) genuinely decides differently.
+    pub(crate) fn fresh_nondet(&mut self, cid: ClusterId) -> u64 {
+        self.next_msg_id += 1;
+        let mut z = self
+            .now()
+            .ticks()
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(cid.0 as u64)
+            .wrapping_add(self.next_msg_id << 17);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    }
+
+    /// Derives the next spawned-process pid.
+    pub(crate) fn alloc_spawn_pid(&mut self) -> Pid {
+        let pid = auros_bus::proto::derive_child_pid(Pid(0), self.next_spawn);
+        self.next_spawn += 1;
+        pid
+    }
+
+    /// Registers a device, returning its index.
+    pub fn add_device(&mut self, dev: Box<dyn Device>) -> usize {
+        self.devices.push(dev);
+        self.devices.len() - 1
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Processes events until `deadline` (inclusive) or queue exhaustion.
+    pub fn run_until(&mut self, deadline: VTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            self.stats.now = now;
+            self.handle(ev);
+        }
+    }
+
+    /// Steps one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((now, ev)) => {
+                self.stats.now = now;
+                self.handle(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until every spawned user process has finished or `deadline`
+    /// passes. Returns `true` if all finished.
+    pub fn run_to_completion(&mut self, deadline: VTime) -> bool {
+        loop {
+            if self.all_spawned_done() {
+                return true;
+            }
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (now, ev) = self.queue.pop().expect("peeked event vanished");
+                    self.stats.now = now;
+                    self.handle(ev);
+                }
+                _ => return self.all_spawned_done(),
+            }
+        }
+    }
+
+    /// Whether every spawned process has exited (anywhere) and no forked
+    /// descendant is still running.
+    pub fn all_spawned_done(&self) -> bool {
+        self.spawned.iter().all(|p| self.exits.contains_key(p))
+            && self.clusters.iter().filter(|c| c.alive).all(|c| {
+                c.procs.values().all(|p| p.is_server() || p.is_dead())
+            })
+    }
+
+    /// Exit status of a process, if it finished.
+    pub fn exit_status(&self, pid: Pid) -> Option<u64> {
+        self.exits.get(&pid).copied()
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::BusDeliver { frame, xmit_start } => self.deliver_frame(frame, xmit_start),
+            Event::QuantumEnd { cluster, pid, token, exit, used } => {
+                self.on_quantum_end(cluster, pid, token, exit, used)
+            }
+            Event::ServerDone { cluster, pid, token } => self.on_server_done(cluster, pid, token),
+            Event::ServerTimer { cluster, pid, timer_token } => {
+                self.on_server_timer(cluster, pid, timer_token)
+            }
+            Event::Dispatch { cluster } => self.try_dispatch(cluster),
+            Event::Wake { cluster, pid } => self.on_wake(cluster, pid),
+            Event::Crash { cluster } => self.on_crash(cluster),
+            Event::PartialFailure { pid } => self.on_partial_failure(pid),
+            Event::Restore { cluster } => self.on_restore(cluster),
+            Event::CrashWorkDone { cluster, dead } => self.on_crash_work_done(cluster, dead),
+            Event::PollTick => self.on_poll_tick(),
+            Event::ReportTick { cluster } => self.on_report_tick(cluster),
+            Event::TerminalInput { device, line, data } => self.on_terminal_input(device, line, data),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Sends `payload` from `pid` on its channel end, applying the §5.1
+    /// three-destination rule and §5.4 suppression.
+    pub(crate) fn send_on_end(
+        &mut self,
+        cid: ClusterId,
+        src: Pid,
+        end: ChanEnd,
+        payload: Payload,
+    ) -> SendOutcome {
+        let ci = cid.0 as usize;
+        // §2 comparator: checkpoint the whole data space before every
+        // send, so the checkpoint is consistent with what others see.
+        if self.cfg.strategy == crate::config::FtStrategy::Checkpoint
+            && self.clusters[ci].procs.get(&src).is_some_and(|p| !p.is_server() && !p.is_dead())
+        {
+            self.perform_checkpoint(cid, src);
+        }
+        let entry = match self.clusters[ci].routing.primary.get_mut(&end) {
+            Some(e) => e,
+            None => return SendOutcome::PeerGone,
+        };
+        if !entry.usable {
+            return SendOutcome::Unusable;
+        }
+        if entry.suppress_writes > 0 && !self.cfg.ablations.no_suppression {
+            entry.suppress_writes -= 1;
+            self.stats.clusters[ci].suppressed_sends += 1;
+            let now = self.now();
+            self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
+                format!("{src} suppressed duplicate send on {:?}", end)
+            });
+            return SendOutcome::Suppressed;
+        }
+        if entry.peer_closed {
+            return SendOutcome::PeerGone;
+        }
+        let peer_end = end.peer();
+        let mut targets = Vec::with_capacity(3);
+        if let Some(pp) = entry.peer_primary {
+            targets.push((pp, DeliveryTag::Primary(peer_end)));
+        }
+        if let Some(pb) = entry.peer_backup {
+            targets.push((pb, DeliveryTag::DestBackup(peer_end)));
+        }
+        if let Some(ob) = entry.owner_backup {
+            targets.push((ob, DeliveryTag::SenderBackup(end)));
+        }
+        if targets.is_empty() {
+            return SendOutcome::PeerGone;
+        }
+        // §10: piggyback pending nondeterministic-event results on any
+        // message whose copy the sender's backup will see.
+        let nondet = if targets.iter().any(|(_, t)| matches!(t, DeliveryTag::SenderBackup(_))) {
+            self.clusters[ci]
+                .procs
+                .get_mut(&src)
+                .map(|p| std::mem::take(&mut p.pending_nondet))
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let msg = Message { id: self.msg_id(), src, payload, nondet };
+        let frame = Frame { src_cluster: cid, targets, msg };
+        self.send_frame(cid, frame, self.now());
+        SendOutcome::Sent
+    }
+
+    /// Sends a kernel-to-kernel control frame with explicit targets.
+    pub(crate) fn send_control(
+        &mut self,
+        cid: ClusterId,
+        targets: Vec<(ClusterId, DeliveryTag)>,
+        payload: Payload,
+    ) {
+        if targets.is_empty() {
+            return;
+        }
+        let msg = Message { id: self.msg_id(), src: kernel_pid(cid), payload, nondet: Vec::new() };
+        let frame = Frame { src_cluster: cid, targets, msg };
+        self.send_frame(cid, frame, self.now());
+    }
+
+    /// Places a frame on the cluster's outgoing queue; the executive
+    /// picks it up and transmits once over the bus (§7.4.2).
+    pub(crate) fn send_frame(&mut self, cid: ClusterId, frame: Frame, ready_at: VTime) {
+        debug_assert!(frame.check_invariants().is_ok(), "{:?}", frame.check_invariants());
+        let ci = cid.0 as usize;
+        if !self.clusters[ci].alive {
+            return;
+        }
+        if self.clusters[ci].outgoing_disabled {
+            self.clusters[ci].outgoing_held.push_back(PendingFrame { frame, ready_at });
+            return;
+        }
+        // Executive takes the frame from the outgoing queue…
+        let exec_ready = self.clusters[ci].exec_free.max(ready_at) + self.cfg.costs.exec_send;
+        self.clusters[ci].exec_free = exec_ready;
+        self.stats.clusters[ci].exec_busy += self.cfg.costs.exec_send;
+        self.stats.clusters[ci].frames_sent += 1;
+        // …and transmits it once over the intercluster bus.
+        let bytes = frame.wire_size();
+        let xmit = self.cfg.costs.bus_xmit(bytes);
+        match self.bus.reserve(exec_ready, xmit, bytes) {
+            Some((start, deliver_at)) => {
+                self.stats.bus_frames += 1;
+                self.stats.bus_bytes += bytes as u64;
+                self.stats.bus_busy += xmit;
+                if self.cfg.ablations.no_atomic_delivery {
+                    // Ablation: split the frame per target with a
+                    // deterministic jitter — §5.1's non-interleaving
+                    // guarantee no longer holds.
+                    for (i, target) in frame.targets.iter().enumerate() {
+                        let jitter = Dur(
+                            (frame.msg.id.0.wrapping_mul(2_654_435_761) >> (8 + i)) % 60,
+                        );
+                        let split = Frame {
+                            src_cluster: frame.src_cluster,
+                            targets: vec![*target],
+                            msg: frame.msg.clone(),
+                        };
+                        self.queue.schedule(
+                            deliver_at + jitter,
+                            Event::BusDeliver { frame: split, xmit_start: start },
+                        );
+                    }
+                } else {
+                    self.queue
+                        .schedule(deliver_at, Event::BusDeliver { frame, xmit_start: start });
+                }
+            }
+            None => {
+                // Both buses failed: outside the single-fault model; the
+                // frame is lost.
+                let now = self.now();
+                self.trace.emit(now, TraceCategory::Bus, Some(cid.0), || {
+                    "frame lost: no healthy bus".to_string()
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery
+    // ------------------------------------------------------------------
+
+    fn deliver_frame(&mut self, frame: Frame, xmit_start: VTime) {
+        let src_ci = frame.src_cluster.0 as usize;
+        if let Some(crashed) = self.clusters[src_ci].crashed_at {
+            if crashed <= xmit_start {
+                // The source died before transmission began: the frame
+                // never made it onto the bus.
+                return;
+            }
+        }
+        let now = self.now();
+        self.trace.emit(now, TraceCategory::Bus, None, || {
+            format!(
+                "deliver {:?} from {} to {} targets",
+                frame.msg.id,
+                frame.src_cluster,
+                frame.targets.len()
+            )
+        });
+        for (cid, tag) in frame.targets.clone() {
+            let ci = cid.0 as usize;
+            if !self.clusters[ci].alive {
+                continue;
+            }
+            // Receipt and distribution are handled by the executive
+            // processor; work processors are not affected (§8.1).
+            let recv = self.cfg.costs.exec_recv;
+            let c = &mut self.clusters[ci];
+            c.exec_free = c.exec_free.max(now) + recv;
+            self.stats.clusters[ci].exec_busy += recv;
+            self.stats.clusters[ci].deliveries += 1;
+            match tag {
+                DeliveryTag::Primary(end) => self.deliver_primary(cid, end, &frame.msg),
+                DeliveryTag::DestBackup(end) => self.deliver_dest_backup(cid, end, &frame.msg),
+                DeliveryTag::SenderBackup(end) => self.deliver_sender_backup(cid, end, &frame.msg),
+                DeliveryTag::Kernel => self.deliver_kernel(cid, frame.src_cluster, &frame.msg),
+            }
+        }
+    }
+
+    /// §7.4.2 (1): queue on the primary destination's entry and wake any
+    /// process awaiting a message on the channel.
+    fn deliver_primary(&mut self, cid: ClusterId, end: ChanEnd, msg: &Message) {
+        let ci = cid.0 as usize;
+        let c = &mut self.clusters[ci];
+        let Some(entry) = c.routing.primary.get(&end) else {
+            // Peer entry is gone (owner exited or never promoted here).
+            return;
+        };
+        let owner = entry.owner;
+        if entry.kind == ChanKind::KernelPort && auros_bus::proto::is_kernel_pid(owner) {
+            self.kernel_port_recv(cid, end, msg.clone());
+            return;
+        }
+        let seq = c.routing.stamp();
+        let entry = c.routing.primary.get_mut(&end).expect("entry checked above");
+        entry.queue.push_back(Queued { arrival_seq: seq, msg: msg.clone() });
+        self.stats.clusters[ci].primary_msgs += 1;
+        let now = self.now();
+        self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
+            format!("primary delivery {:?} on {:?} for {owner}", msg.id, end)
+        });
+        self.note_signal_arrival(cid, end, owner);
+        self.try_unblock(cid, owner);
+    }
+
+    /// §7.4.2 (2): queue on the destination's backup entry; wake nobody.
+    fn deliver_dest_backup(&mut self, cid: ClusterId, end: ChanEnd, msg: &Message) {
+        let ci = cid.0 as usize;
+        // An open reply's arrival at the backup cluster creates the
+        // backup routing entry for the newly opened channel (§7.4.1).
+        if let Payload::FsReply(auros_bus::proto::FsReply::OpenReply { init, .. }) = &msg.payload {
+            self.create_backup_entry_from_init(cid, init);
+        }
+        let c = &mut self.clusters[ci];
+        if c.routing.backup.contains_key(&end) {
+            let seq = c.routing.stamp();
+            let be = c.routing.backup.get_mut(&end).expect("checked above");
+            be.queue.push_back(Queued { arrival_seq: seq, msg: msg.clone() });
+            self.stats.clusters[ci].backup_msgs += 1;
+            let now = self.now();
+            self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
+                format!("backup save {:?} on {:?} seq {seq} src {}", msg.id, end, msg.src)
+            });
+            return;
+        }
+        // The backup may have been promoted moments ago (in-flight frame
+        // raced the crash): deliver as a live message instead.
+        if c.routing.primary.contains_key(&end) {
+            self.deliver_primary(cid, end, msg);
+        }
+    }
+
+    /// §7.4.2 (3): count and discard at the sender's backup. The §10
+    /// extension also logs any piggybacked nondeterministic results.
+    fn deliver_sender_backup(&mut self, cid: ClusterId, end: ChanEnd, msg: &Message) {
+        let ci = cid.0 as usize;
+        let c = &mut self.clusters[ci];
+        if !msg.nondet.is_empty() {
+            c.nondet_logs.entry(msg.src).or_default().extend(msg.nondet.iter().copied());
+        }
+        if let Some(be) = c.routing.backup.get_mut(&end) {
+            be.writes_since_sync += 1;
+            self.stats.clusters[ci].write_counts += 1;
+            return;
+        }
+        // Promoted mid-flight: the count becomes a suppression credit.
+        if let Some(e) = c.routing.primary.get_mut(&end) {
+            if !auros_bus::proto::is_kernel_pid(e.owner) {
+                e.suppress_writes += 1;
+                self.stats.clusters[ci].write_counts += 1;
+            }
+        }
+    }
+
+    /// Creates a backup routing entry described by `init` (open replies
+    /// and birth notices do this, §7.4.1/§7.7).
+    pub(crate) fn create_backup_entry_from_init(&mut self, cid: ClusterId, init: &ChannelInit) {
+        let ci = cid.0 as usize;
+        let c = &mut self.clusters[ci];
+        c.routing.backup.entry(init.end).or_insert_with(|| BackupEntry::from_init(init));
+        let cost = self.cfg.costs.exec_backup_maintenance;
+        c.exec_free = c.exec_free.max(self.queue.now()) + cost;
+        self.stats.clusters[ci].exec_busy += cost;
+    }
+
+    /// Creates a primary routing entry described by `init`.
+    pub(crate) fn create_primary_entry_from_init(&mut self, cid: ClusterId, init: &ChannelInit) {
+        let c = &mut self.clusters[cid.0 as usize];
+        c.routing.primary.entry(init.end).or_insert_with(|| Entry::from_init(init));
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// Dispatches runnable processes onto free work processors.
+    pub(crate) fn try_dispatch(&mut self, cid: ClusterId) {
+        let now = self.now();
+        let ci = cid.0 as usize;
+        loop {
+            {
+                let c = &self.clusters[ci];
+                if !c.alive || c.in_crash_handling(now) {
+                    return;
+                }
+            }
+            let Some(worker) = self.clusters[ci].free_worker(now) else {
+                if !self.clusters[ci].runnable.is_empty() {
+                    let at = self.clusters[ci].next_worker_free().max(now);
+                    self.queue.schedule(at, Event::Dispatch { cluster: cid });
+                }
+                return;
+            };
+            let Some(pid) = self.clusters[ci].runnable.pop_front() else {
+                return;
+            };
+            let is_server = match self.clusters[ci].procs.get(&pid) {
+                Some(pcb) if pcb.state == ProcessState::Runnable => pcb.is_server(),
+                _ => continue,
+            };
+            // Signals are processed at dispatch boundaries: ignored ones
+            // are consumed and counted, handled ones force a sync first
+            // (§7.5.2), uncaught ones kill. A promoted backup performs
+            // the same check before its first instruction, so primary
+            // and replay handle signals at the same place.
+            if !is_server {
+                if !self.check_signals(cid, pid) {
+                    continue; // The process died.
+                }
+                match self.clusters[ci].procs.get(&pid) {
+                    Some(pcb) if pcb.state == ProcessState::Runnable => {}
+                    _ => continue,
+                }
+            }
+            let token = {
+                let pcb = self.clusters[ci].procs.get_mut(&pid).expect("checked above");
+                pcb.state = ProcessState::Running;
+                pcb.run_token += 1;
+                pcb.quantum_start = now;
+                pcb.run_token
+            };
+            if is_server {
+                // Servers handle one message per step; the message is
+                // consumed now (counts updated) and effects are applied
+                // at ServerDone.
+                let span = self.run_server_step(cid, pid, worker);
+                if span == Dur::ZERO {
+                    // Nothing to do after all; the step left it idle.
+                    continue;
+                }
+                let end = now + span;
+                self.clusters[ci].work_free[worker] = end;
+                self.stats.clusters[ci].work_busy += span;
+                self.queue.schedule(end, Event::ServerDone { cluster: cid, pid, token });
+            } else {
+                let quantum = self.cfg.quantum;
+                let (exit, used) = self.clusters[ci]
+                    .procs
+                    .get_mut(&pid)
+                    .and_then(|p| p.machine_mut())
+                    .map(|m| m.run(quantum))
+                    .expect("user process has a machine");
+                let span =
+                    self.cfg.costs.dispatch + Dur(used.saturating_mul(self.cfg.ticks_per_fuel));
+                let end = now + span;
+                self.clusters[ci].work_free[worker] = end;
+                self.stats.clusters[ci].work_busy += span;
+                self.queue.schedule(end, Event::QuantumEnd { cluster: cid, pid, token, exit, used });
+            }
+        }
+    }
+
+    /// Makes a process runnable and tries to dispatch.
+    pub(crate) fn wake(&mut self, cid: ClusterId, pid: Pid) {
+        let now = self.now();
+        let c = self.cluster_mut(cid);
+        if let Some(pcb) = c.procs.get_mut(&pid) {
+            if pcb.is_dead() || pcb.state == ProcessState::Running {
+                return;
+            }
+            // Close the blocked-wait interval (service latency ledger).
+            if matches!(pcb.state, ProcessState::Blocked(_)) {
+                if let Some(t0) = pcb.wait_from.take() {
+                    let d = now.since(t0);
+                    pcb.total_wait += d;
+                    pcb.waits += 1;
+                    pcb.max_wait = pcb.max_wait.max(d);
+                }
+            }
+            pcb.state = ProcessState::Runnable;
+            c.make_runnable(pid);
+            self.try_dispatch(cid);
+        }
+    }
+
+    fn on_wake(&mut self, cid: ClusterId, pid: Pid) {
+        self.wake(cid, pid);
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic machinery
+    // ------------------------------------------------------------------
+
+    fn on_poll_tick(&mut self) {
+        let now = self.now();
+        let dead: Vec<ClusterId> = self
+            .clusters
+            .iter()
+            .filter(|c| !c.alive && !self.announced_crashes.contains(&c.id))
+            .map(|c| c.id)
+            .collect();
+        for d in dead {
+            self.announced_crashes.push(d);
+            self.stats.crashes += 1;
+            self.trace.emit(now, TraceCategory::Crash, Some(d.0), || {
+                format!("polling detected crash of {d}")
+            });
+            self.announce_crash(d);
+        }
+        self.queue.schedule(now + self.cfg.costs.poll_interval, Event::PollTick);
+    }
+
+    pub(crate) fn unannounce_restored(&mut self, cid: ClusterId) {
+        self.announced_crashes.retain(|c| *c != cid);
+    }
+
+    fn on_report_tick(&mut self, cid: ClusterId) {
+        let now = self.now();
+        let ci = cid.0 as usize;
+        if self.clusters[ci].alive {
+            let pids: Vec<Pid> = self.clusters[ci]
+                .procs
+                .iter()
+                .filter(|(_, p)| !p.is_dead())
+                .map(|(pid, _)| *pid)
+                .collect();
+            self.kernel_send_proc(cid, ProcRequest::Report { cluster: cid, pids });
+        }
+        self.queue
+            .schedule(now + self.cfg.costs.report_interval, Event::ReportTick { cluster: cid });
+    }
+
+    /// Sends a request on the kernel's process-server port.
+    pub(crate) fn kernel_send_proc(&mut self, cid: ClusterId, req: ProcRequest) {
+        let end = kernel_port_end(cid, ports::PROC);
+        self.send_on_end(cid, kernel_pid(cid), end, Payload::Proc(req));
+    }
+
+    /// Sends a request on the kernel's page-server port.
+    pub(crate) fn kernel_send_pager(
+        &mut self,
+        cid: ClusterId,
+        req: auros_bus::proto::PagerRequest,
+    ) {
+        let end = kernel_port_end(cid, ports::FS);
+        // The pager port reuses the FS slot index of the *kernel's*
+        // bootstrap namespace; see `kernel_port_end`.
+        self.send_on_end(cid, kernel_pid(cid), end, Payload::Pager(req));
+    }
+
+    /// Handles a message addressed to a kernel port (paging replies,
+    /// placement answers).
+    fn kernel_port_recv(&mut self, cid: ClusterId, _end: ChanEnd, msg: Message) {
+        match msg.payload {
+            Payload::PagerReply(PagerReply::Page { pid, page, data }) => {
+                self.install_page(cid, pid, page, data);
+            }
+            Payload::PagerReply(PagerReply::Ack) => {}
+            Payload::ProcReply(ProcReply::Place { pid, cluster }) => {
+                self.on_place_reply(cid, pid, cluster);
+            }
+            _ => {}
+        }
+    }
+
+    /// Installs a demand-paged page into a process and retries its block.
+    fn install_page(
+        &mut self,
+        cid: ClusterId,
+        pid: Pid,
+        page: auros_vm::PageNo,
+        data: Option<auros_bus::proto::PageBlob>,
+    ) {
+        let ci = cid.0 as usize;
+        let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) else {
+            return;
+        };
+        if pcb.is_dead() {
+            return;
+        }
+        let Some(machine) = pcb.machine_mut() else {
+            return;
+        };
+        let page_data: auros_vm::PageData = match data {
+            Some(blob) => Box::new(*blob),
+            None => Box::new([0u8; auros_vm::PAGE_SIZE]),
+        };
+        machine.memory_mut().install(page, page_data);
+        self.stats.clusters[ci].page_faults += 1;
+        let now = self.now();
+        self.trace.emit(now, TraceCategory::Paging, Some(cid.0), || {
+            format!("installed page {:?} for {pid}", page)
+        });
+        self.try_unblock(cid, pid);
+    }
+}
+
+/// The kernel's port end for a service slot.
+///
+/// Slot [`ports::FS`] carries paging traffic (the kernel's own disk-backed
+/// service) and slot [`ports::PROC`] carries process-server traffic.
+pub fn kernel_port_end(cid: ClusterId, slot: u8) -> ChanEnd {
+    ChanEnd { channel: ChannelId::bootstrap(kernel_pid(cid), slot), side: Side::A }
+}
+
+/// The bootstrap channel end of a process for a port slot (A side).
+pub fn bootstrap_end(pid: Pid, slot: u8) -> ChanEnd {
+    ChanEnd { channel: ChannelId::bootstrap(pid, slot), side: Side::A }
+}
+
+/// Builds the pair of channel-init descriptors for one bootstrap channel
+/// between `owner` (A side) and a server (B side).
+#[allow(clippy::too_many_arguments)]
+pub fn bootstrap_channel_inits(
+    owner: Pid,
+    owner_cluster: ClusterId,
+    owner_backup: Option<ClusterId>,
+    owner_mode: BackupMode,
+    server: Pid,
+    server_cluster: ClusterId,
+    server_backup: Option<ClusterId>,
+    server_mode: BackupMode,
+    slot: u8,
+    kind: ChanKind,
+) -> (ChannelInit, ChannelInit) {
+    let a = bootstrap_end(owner, slot);
+    let a_init = ChannelInit {
+        end: a,
+        owner,
+        fd: None,
+        peer: Some(server),
+        peer_primary: Some(server_cluster),
+        peer_backup: server_backup,
+        owner_backup,
+        peer_mode: server_mode,
+        kind,
+    };
+    let b_init = ChannelInit {
+        end: a.peer(),
+        owner: server,
+        fd: None,
+        peer: Some(owner),
+        peer_primary: Some(owner_cluster),
+        peer_backup: owner_backup,
+        owner_backup: server_backup,
+        peer_mode: owner_mode,
+        kind,
+    };
+    (a_init, b_init)
+}
+
+/// Marker trait impl so facades can name the service kind per slot.
+pub fn service_kind_for_slot(slot: u8) -> ChanKind {
+    match slot {
+        ports::SIGNAL => ChanKind::Signal,
+        ports::FS => ChanKind::ServerPort(ServiceKind::File),
+        ports::PROC => ChanKind::ServerPort(ServiceKind::Proc),
+        _ => ChanKind::UserUser,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_and_clock_starts_at_zero() {
+        let w = World::new(Config::default());
+        assert_eq!(w.now(), VTime::ZERO);
+        assert_eq!(w.clusters.len(), 3);
+        assert!(w.all_spawned_done(), "no processes spawned yet");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn invalid_config_panics() {
+        let _ = World::new(Config { clusters: 1, ..Config::default() });
+    }
+
+    #[test]
+    fn bootstrap_ends_are_disjoint_across_slots() {
+        let a = bootstrap_end(Pid(5), ports::SIGNAL);
+        let b = bootstrap_end(Pid(5), ports::FS);
+        let c = bootstrap_end(Pid(6), ports::SIGNAL);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.side, Side::A);
+    }
+
+    #[test]
+    fn kernel_port_ends_use_kernel_pid_namespace() {
+        let e = kernel_port_end(ClusterId(2), ports::PROC);
+        assert_eq!(e.side, Side::A);
+        let f = kernel_port_end(ClusterId(3), ports::PROC);
+        assert_ne!(e.channel, f.channel);
+    }
+
+    #[test]
+    fn poll_and_report_ticks_self_reschedule() {
+        let mut w = World::new(Config::small());
+        let before = w.queue.len();
+        w.run_until(VTime(200_000));
+        // Ticks keep rescheduling themselves: the queue never drains.
+        assert!(w.queue.len() >= before - 1);
+        assert!(w.now() > VTime::ZERO);
+    }
+}

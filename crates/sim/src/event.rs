@@ -1,0 +1,246 @@
+//! The event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is
+//! assigned at insertion. Two events scheduled for the same tick therefore
+//! fire in insertion order, which makes every run fully deterministic —
+//! there is no iteration over hash maps or other incidental ordering
+//! anywhere in the dispatch path.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::VTime;
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ScheduledAt {
+    time: VTime,
+    seq: u64,
+}
+
+impl ScheduledAt {
+    /// The time the event will fire.
+    pub fn time(self) -> VTime {
+        self.time
+    }
+}
+
+struct Entry<E> {
+    at: ScheduledAt,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; reverse to pop the earliest event.
+        other.at.cmp(&self.at)
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use auros_sim::{EventQueue, VTime, Dur};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(VTime(10), "b");
+/// q.schedule(VTime(5), "a");
+/// q.schedule(VTime(10), "c");
+/// assert_eq!(q.pop().map(|(t, e)| (t.ticks(), e)), Some((5, "a")));
+/// assert_eq!(q.pop().map(|(t, e)| (t.ticks(), e)), Some((10, "b")));
+/// assert_eq!(q.pop().map(|(t, e)| (t.ticks(), e)), Some((10, "c")));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: VTime,
+    /// Sequence numbers of scheduled-but-not-yet-fired events. Cancellation
+    /// is lazy: a cancelled entry stays in the heap and is skipped on pop.
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`VTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: VTime::ZERO,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The current virtual time: the fire time of the most recently popped
+    /// event, or zero if nothing has been popped yet.
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Scheduling in the past is a logic error; in debug builds it panics,
+    /// in release builds the event fires at the current time instead.
+    pub fn schedule(&mut self, time: VTime, event: E) -> ScheduledAt {
+        debug_assert!(time >= self.now, "scheduling into the past: {time:?} < {:?}", self.now);
+        let time = time.max(self.now);
+        let at = ScheduledAt { time, seq: self.next_seq };
+        self.next_seq += 1;
+        self.pending.insert(at.seq);
+        self.heap.push(Entry { at, event });
+        at
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending. Cancelling an already
+    /// fired or already cancelled event returns `false`.
+    pub fn cancel(&mut self, at: ScheduledAt) -> bool {
+        self.pending.remove(&at.seq)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(VTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.pending.remove(&entry.at.seq) {
+                continue; // Cancelled entry: skip.
+            }
+            self.now = entry.at.time;
+            return Some((entry.at.time, entry.event));
+        }
+        None
+    }
+
+    /// The fire time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<VTime> {
+        // Lazy cancellation means the top of the heap may be dead; this is
+        // only used for inspection so a conservative answer is fine.
+        self.heap.peek().map(|e| e.at.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_within_same_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(VTime(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(VTime(3), ());
+        q.schedule(VTime(9), ());
+        assert_eq!(q.now(), VTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), VTime(3));
+        q.pop();
+        assert_eq!(q.now(), VTime(9));
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(VTime(1), "a");
+        q.schedule(VTime(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must fail");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_fails() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(VTime(1), "a");
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(VTime(1), ());
+        q.schedule(VTime(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(VTime(10), 10u64);
+        q.schedule(VTime(5), 5);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (VTime(5), 5));
+        q.schedule(t + Dur(1), 6);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec![6, 10]);
+    }
+
+    proptest! {
+        /// Popping always yields events in nondecreasing time order, and
+        /// within a tick in insertion order.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(VTime(*t), i);
+            }
+            let mut last: Option<(VTime, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                prop_assert_eq!(t, VTime(times[i]));
+                if let Some((lt, li)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(i > li, "same-tick events must pop in insertion order");
+                    }
+                }
+                last = Some((t, i));
+            }
+        }
+    }
+}

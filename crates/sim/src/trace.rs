@@ -1,0 +1,179 @@
+//! Structured trace log.
+//!
+//! The kernel and servers emit trace events describing what happened and
+//! *where* (which cluster, which processor class). Tests assert against the
+//! trace — e.g. that backup message copies were handled by the executive
+//! processor and never billed to a work processor (paper §8.1) — and the
+//! bench harness aggregates it into the experiment tables.
+
+use std::fmt;
+
+use crate::time::VTime;
+
+/// Broad category of a trace event, used for filtering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TraceCategory {
+    /// Bus transmissions and deliveries.
+    Bus,
+    /// Message enqueue/dequeue on routing-table entries.
+    Message,
+    /// Primary/backup synchronization operations.
+    Sync,
+    /// Process lifecycle: fork, exit, backup creation, promotion.
+    Process,
+    /// Scheduling decisions and quantum accounting.
+    Sched,
+    /// Page traffic between processes and the page server.
+    Paging,
+    /// File, raw, and tty server activity.
+    Server,
+    /// Crash detection, crash handling, and recovery.
+    Crash,
+    /// Signal generation and delivery.
+    Signal,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Virtual time the event occurred.
+    pub at: VTime,
+    /// Event category.
+    pub category: TraceCategory,
+    /// Cluster the event occurred in, if applicable.
+    pub cluster: Option<u16>,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cluster {
+            Some(c) => write!(f, "[{:>10}] c{} {:?}: {}", self.at, c, self.category, self.what),
+            None => write!(f, "[{:>10}] -- {:?}: {}", self.at, self.category, self.what),
+        }
+    }
+}
+
+/// An append-only trace log with per-category enablement.
+///
+/// Disabled by default so that benches pay nothing for tracing; tests turn
+/// on the categories they assert against.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: Vec<TraceCategory>,
+    capture_all: bool,
+}
+
+impl TraceLog {
+    /// Creates a log with all categories disabled.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Creates a log capturing every category.
+    pub fn capture_all() -> TraceLog {
+        TraceLog { events: Vec::new(), enabled: Vec::new(), capture_all: true }
+    }
+
+    /// Enables capture of one category.
+    pub fn enable(&mut self, cat: TraceCategory) {
+        if !self.enabled.contains(&cat) {
+            self.enabled.push(cat);
+        }
+    }
+
+    /// Returns `true` if events of `cat` are being captured.
+    pub fn wants(&self, cat: TraceCategory) -> bool {
+        self.capture_all || self.enabled.contains(&cat)
+    }
+
+    /// Records an event if its category is enabled.
+    ///
+    /// The message is built lazily so disabled categories cost only the
+    /// `wants` check.
+    pub fn emit(
+        &mut self,
+        at: VTime,
+        category: TraceCategory,
+        cluster: Option<u16>,
+        what: impl FnOnce() -> String,
+    ) {
+        if self.wants(category) {
+            self.events.push(TraceEvent { at, category, cluster, what: what() });
+        }
+    }
+
+    /// All captured events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one category.
+    pub fn of(&self, cat: TraceCategory) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.category == cat)
+    }
+
+    /// Count of events of one category whose text contains `needle`.
+    pub fn count_matching(&self, cat: TraceCategory, needle: &str) -> usize {
+        self.of(cat).filter(|e| e.what.contains(needle)).count()
+    }
+
+    /// Discards all captured events, keeping enablement.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_categories_are_not_captured() {
+        let mut log = TraceLog::new();
+        log.emit(VTime(1), TraceCategory::Bus, None, || "x".into());
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_categories_are_captured() {
+        let mut log = TraceLog::new();
+        log.enable(TraceCategory::Sync);
+        log.emit(VTime(1), TraceCategory::Sync, Some(0), || "sync".into());
+        log.emit(VTime(2), TraceCategory::Bus, None, || "bus".into());
+        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.of(TraceCategory::Sync).count(), 1);
+    }
+
+    #[test]
+    fn capture_all_takes_everything() {
+        let mut log = TraceLog::capture_all();
+        log.emit(VTime(1), TraceCategory::Crash, Some(3), || "boom".into());
+        assert_eq!(log.count_matching(TraceCategory::Crash, "boom"), 1);
+    }
+
+    #[test]
+    fn display_renders_cluster() {
+        let e = TraceEvent {
+            at: VTime(5),
+            category: TraceCategory::Message,
+            cluster: Some(2),
+            what: "hello".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("c2"), "{s}");
+        assert!(s.contains("hello"), "{s}");
+    }
+
+    #[test]
+    fn clear_keeps_enablement() {
+        let mut log = TraceLog::new();
+        log.enable(TraceCategory::Paging);
+        log.emit(VTime(1), TraceCategory::Paging, None, || "p".into());
+        log.clear();
+        assert!(log.events().is_empty());
+        assert!(log.wants(TraceCategory::Paging));
+    }
+}

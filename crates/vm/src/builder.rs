@@ -1,0 +1,301 @@
+//! A tiny two-pass assembler for guest programs.
+//!
+//! Branch targets may be taken before they are bound:
+//!
+//! ```
+//! use auros_vm::ProgramBuilder;
+//! use auros_vm::inst::regs::*;
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! b.li(R1, 3);
+//! let done = b.new_label();
+//! let top = b.here();
+//! b.addi(R1, R1, -1);
+//! b.jz(R1, done);
+//! b.jmp(top);
+//! b.bind(done);
+//! b.halt();
+//! let program = b.build();
+//! assert_eq!(program.len(), 5);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, Program, Reg, Sys};
+
+/// A branch target; create with [`ProgramBuilder::new_label`] or
+/// [`ProgramBuilder::here`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(u32);
+
+/// Incrementally builds a [`Program`].
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    /// Bound label -> instruction index.
+    bound: HashMap<Label, u32>,
+    /// Instructions whose branch target is an unbound label.
+    fixups: Vec<(usize, Label)>,
+    next_label: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            bound: HashMap::new(),
+            fixups: Vec::new(),
+            next_label: 0,
+        }
+    }
+
+    /// Allocates an unbound label for a forward branch.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// The current instruction index (e.g. for installing a signal
+    /// handler at this position via `SigHandler`).
+    pub fn pos(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Returns a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let at = self.insts.len() as u32;
+        let prev = self.bound.insert(label, at);
+        assert!(prev.is_none(), "label bound twice");
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_branch(&mut self, label: Label, make: impl FnOnce(u32) -> Inst) -> &mut Self {
+        let target = self.bound.get(&label).copied();
+        let idx = self.insts.len();
+        match target {
+            Some(t) => self.insts.push(make(t)),
+            None => {
+                self.insts.push(make(u32::MAX));
+                self.fixups.push((idx, label));
+            }
+        }
+        self
+    }
+
+    /// `dst <- imm`.
+    pub fn li(&mut self, d: Reg, imm: u64) -> &mut Self {
+        self.push(Inst::Li(d, imm))
+    }
+
+    /// `dst <- src`.
+    pub fn mov(&mut self, d: Reg, s: Reg) -> &mut Self {
+        self.push(Inst::Mov(d, s))
+    }
+
+    /// `dst <- a + b`.
+    pub fn add(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Add(d, a, b))
+    }
+
+    /// `dst <- a - b`.
+    pub fn sub(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Sub(d, a, b))
+    }
+
+    /// `dst <- a * b`.
+    pub fn mul(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Mul(d, a, b))
+    }
+
+    /// `dst <- a ^ b`.
+    pub fn xor(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Xor(d, a, b))
+    }
+
+    /// `dst <- a & b`.
+    pub fn and(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::And(d, a, b))
+    }
+
+    /// `dst <- a | b`.
+    pub fn or(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Or(d, a, b))
+    }
+
+    /// `dst <- src + imm`.
+    pub fn addi(&mut self, d: Reg, s: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::Addi(d, s, imm))
+    }
+
+    /// `dst <- (a < b) as u64`.
+    pub fn ltu(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Ltu(d, a, b))
+    }
+
+    /// `dst <- (a == b) as u64`.
+    pub fn eq(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Eq(d, a, b))
+    }
+
+    /// `dst <- mem[base + off]`.
+    pub fn load(&mut self, d: Reg, base: Reg, off: u32) -> &mut Self {
+        self.push(Inst::Load(d, base, off))
+    }
+
+    /// `mem[base + off] <- src`.
+    pub fn store_at(&mut self, src: Reg, base: Reg, off: u32) -> &mut Self {
+        self.push(Inst::Store(base, src, off))
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, l: Label) -> &mut Self {
+        self.push_branch(l, Inst::Jmp)
+    }
+
+    /// Jump if nonzero.
+    pub fn jnz(&mut self, r: Reg, l: Label) -> &mut Self {
+        self.push_branch(l, move |t| Inst::Jnz(r, t))
+    }
+
+    /// Jump if zero.
+    pub fn jz(&mut self, r: Reg, l: Label) -> &mut Self {
+        self.push_branch(l, move |t| Inst::Jz(r, t))
+    }
+
+    /// Burn `n` fuel units.
+    pub fn compute(&mut self, n: u32) -> &mut Self {
+        self.push(Inst::Compute(n))
+    }
+
+    /// Trap to the kernel.
+    pub fn trap(&mut self, sys: Sys) -> &mut Self {
+        self.push(Inst::Trap(sys))
+    }
+
+    /// Halt the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Emits instructions to store the byte string `s` at address `addr`
+    /// (clobbers `scratch_base` and `scratch_val`).
+    ///
+    /// Convenience for placing channel names in guest memory before `Open`.
+    pub fn blit(&mut self, addr: u64, s: &[u8], scratch_base: Reg, scratch_val: Reg) -> &mut Self {
+        for (i, chunk) in s.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.li(scratch_base, addr + (i * 8) as u64);
+            self.li(scratch_val, u64::from_le_bytes(word));
+            self.store_at(scratch_val, scratch_base, 0);
+        }
+        self
+    }
+
+    /// Resolves fixups and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let target =
+                *self.bound.get(&label).unwrap_or_else(|| panic!("unbound label {label:?}"));
+            self.insts[idx] = match self.insts[idx] {
+                Inst::Jmp(_) => Inst::Jmp(target),
+                Inst::Jnz(r, _) => Inst::Jnz(r, target),
+                Inst::Jz(r, _) => Inst::Jz(r, target),
+                other => unreachable!("fixup on non-branch {other:?}"),
+            };
+        }
+        Program::new(self.name, self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::regs::*;
+    use crate::machine::{Exit, Machine};
+
+    #[test]
+    fn forward_branch_fixup() {
+        let mut b = ProgramBuilder::new("f");
+        let end = b.new_label();
+        b.li(R1, 0);
+        b.jz(R1, end);
+        b.li(R0, 111); // Skipped.
+        b.bind(end);
+        b.li(R0, 222);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        let (exit, _) = m.run(100);
+        assert_eq!(exit, Exit::Halted);
+        assert_eq!(m.reg(R0), 222);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("u");
+        let l = b.new_label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("d");
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn blit_places_string_in_memory() {
+        let mut b = ProgramBuilder::new("s");
+        b.blit(64, b"hello world!", R1, R2);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        let (exit, _) = m.run(1000);
+        assert_eq!(exit, Exit::Halted);
+        let mut buf = [0u8; 12];
+        assert_eq!(m.memory_mut().read(64, &mut buf), auros_vm_access_ok());
+        assert_eq!(&buf, b"hello world!");
+    }
+
+    fn auros_vm_access_ok() -> crate::mem::Access {
+        crate::mem::Access::Ok
+    }
+
+    #[test]
+    fn store_at_uses_base_and_value_correctly() {
+        let mut b = ProgramBuilder::new("sa");
+        b.li(R1, 128);
+        b.li(R2, 9999);
+        b.store_at(R2, R1, 8);
+        b.halt();
+        let mut m = Machine::new(b.build());
+        m.run(100);
+        assert_eq!(m.memory_mut().read_u64(136).unwrap(), 9999);
+    }
+}

@@ -1,0 +1,44 @@
+//! The §10 extension, live: "Hardware failures which do not affect all
+//! processes in a cluster will not cause the cluster to crash, but will
+//! cause individual backups to be brought up for the affected processes."
+//!
+//! A bank and a bystander share cluster 0; the bank's hardware fails.
+//! The cluster stays up, the bystander never notices, and the bank's
+//! backup resumes mid-stream elsewhere.
+//!
+//! ```sh
+//! cargo run --example partial_failure
+//! ```
+
+use auros::{programs, SystemBuilder, VTime};
+
+fn run(fail: bool) -> (Vec<Option<u64>>, bool, u64) {
+    let mut b = SystemBuilder::new(3);
+    let bank = b.spawn(0, programs::bank_server("pf-bank", 200));
+    let _client = b.spawn(1, programs::bank_client("pf-bank", 200, 16, 5));
+    let _bystander = b.spawn(0, programs::compute_loop(400, 4));
+    if fail {
+        b.fail_process_at(VTime(12_000), bank);
+    }
+    let mut sys = b.build();
+    assert!(sys.run(VTime(400_000_000)), "everything completes");
+    let exits = (0..3).map(|i| sys.exit_of(i)).collect();
+    let all_up = sys.world.clusters.iter().all(|c| c.alive);
+    let promotions = sys.world.stats.clusters.iter().map(|c| c.promotions).sum();
+    (exits, all_up, promotions)
+}
+
+fn main() {
+    let (clean, _, _) = run(false);
+    println!("fault-free exits:         {clean:?}");
+    let (failed, all_up, promotions) = run(true);
+    println!("with partial failure:     {failed:?}");
+    println!("all clusters still up:    {all_up}");
+    println!("processes promoted:       {promotions} (just the bank)");
+    assert_eq!(clean, failed);
+    assert!(all_up);
+    assert_eq!(promotions, 1);
+    println!();
+    println!("the victim moved, its correspondents were re-routed, and the");
+    println!("colocated bystander never stopped — no cluster-wide crash (§10).");
+}

@@ -1,0 +1,48 @@
+//! A three-stage dataflow pipeline spanning three clusters; the middle
+//! stage's cluster dies and its inactive backup rolls forward from the
+//! last sync, consuming saved messages and skipping already-sent output
+//! (§5.4). The sink's checksum proves the stream was neither torn nor
+//! duplicated.
+//!
+//! ```sh
+//! cargo run --example pipeline_recovery
+//! ```
+
+use auros::{programs, SystemBuilder, VTime};
+
+const ITEMS: u64 = 150;
+
+fn run(crash: Option<u64>) -> (Option<u64>, u64) {
+    let mut b = SystemBuilder::new(3);
+    b.spawn(0, programs::producer("raw", ITEMS));
+    b.spawn(1, programs::pipeline_stage("raw", "cooked", ITEMS));
+    b.spawn(2, programs::consumer("cooked", ITEMS));
+    if let Some(at) = crash {
+        b.crash_at(VTime(at), 1);
+    }
+    let mut sys = b.build();
+    assert!(sys.run(VTime(400_000_000)));
+    let suppressed = sys.world.stats.total_suppressed();
+    (sys.exit_of(2), suppressed)
+}
+
+fn main() {
+    let expected: u64 = (0..ITEMS)
+        .map(|i| {
+            let v = i.wrapping_mul(2_654_435_761).wrapping_add(17);
+            v.wrapping_mul(3).wrapping_add(7)
+        })
+        .fold(0u64, |a, v| a.wrapping_add(v));
+    let (clean, _) = run(None);
+    println!("sink checksum (fault-free): {clean:?} — expected {expected}");
+    assert_eq!(clean, Some(expected));
+    for at in [6_000u64, 15_000, 30_000] {
+        let (crashed, suppressed) = run(Some(at));
+        println!(
+            "crash of the middle stage at t={at:>6}: checksum {crashed:?}, \
+             {suppressed} duplicate sends suppressed"
+        );
+        assert_eq!(crashed, Some(expected));
+    }
+    println!("\nthe stream survived every crash intact: no item lost, none doubled.");
+}

@@ -1,0 +1,42 @@
+//! On-line transaction processing (§3): a bank server and three clients,
+//! with a mid-stream crash of the cluster hosting the bank *and* the
+//! page/file servers. No transaction is lost or applied twice.
+//!
+//! ```sh
+//! cargo run --example transaction_processing
+//! ```
+
+use auros::{programs, SystemBuilder, VTime};
+
+const TX_PER_CLIENT: u64 = 120;
+
+fn run(crash: Option<u64>) -> Vec<Option<u64>> {
+    let mut b = SystemBuilder::new(4);
+    // One serialized bank with a channel per client (bunch/which,
+    // §7.5.1); three clients contend. Every quoted balance feeds each
+    // client's checksum, so a lost or duplicated transaction shows up in
+    // *someone's* exit status.
+    b.spawn(0, programs::bank_server_multi("bank", 3, 3 * TX_PER_CLIENT));
+    b.spawn(1, programs::bank_client_at("bank0", TX_PER_CLIENT, 32, 0, 1));
+    b.spawn(2, programs::bank_client_at("bank1", TX_PER_CLIENT, 32, 32, 2));
+    b.spawn(3, programs::bank_client_at("bank2", TX_PER_CLIENT, 32, 64, 3));
+    if let Some(at) = crash {
+        b.crash_at(VTime(at), 0);
+    }
+    let mut sys = b.build();
+    assert!(sys.run(VTime(400_000_000)), "workload must complete");
+    (0..4).map(|i| sys.exit_of(i)).collect()
+}
+
+fn main() {
+    println!("running {} transactions across 3 clients…", 3 * TX_PER_CLIENT);
+    let clean = run(None);
+    println!("fault-free checksums: {clean:?}");
+    for at in [8_000u64, 20_000, 45_000] {
+        let crashed = run(Some(at));
+        println!("crash at t={at:>6}:     {crashed:?}");
+        assert_eq!(clean, crashed, "transactions lost or duplicated!");
+    }
+    println!("\nall checksums identical: exactly-once transaction semantics held");
+    println!("through every crash (saved queues + §5.4 duplicate suppression).");
+}

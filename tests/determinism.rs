@@ -1,0 +1,165 @@
+//! Property tests of the paper's core invariant: for ANY workload and
+//! ANY single-crash fault plan, the run's externally visible record
+//! equals the fault-free run's (§3.3, §6).
+
+use auros::{programs, BackupMode, RunDigest, SystemBuilder, VTime};
+use proptest::prelude::*;
+
+const DEADLINE: VTime = VTime(400_000_000);
+
+/// A randomly composed workload, as data (so it can shrink).
+#[derive(Debug, Clone)]
+enum Job {
+    PingPong { rounds: u64 },
+    Stream { count: u64 },
+    Bank { tx: u64, accounts: u64, seed: u64 },
+    MultiBank { tx: u64, seed: u64 },
+    Compute { iters: u64, pages: u64 },
+    File { chunks: u64 },
+}
+
+impl Job {
+    fn spawn(&self, idx: usize, b: &mut SystemBuilder, clusters: u16) {
+        let c0 = (idx as u16 * 2) % clusters;
+        let c1 = (c0 + 1) % clusters;
+        match self {
+            Job::PingPong { rounds } => {
+                let name = format!("pp{idx}");
+                b.spawn(c0, programs::pingpong(&name, *rounds, true));
+                b.spawn(c1, programs::pingpong(&name, *rounds, false));
+            }
+            Job::Stream { count } => {
+                let name = format!("st{idx}");
+                b.spawn(c0, programs::producer(&name, *count));
+                b.spawn(c1, programs::consumer(&name, *count));
+            }
+            Job::Bank { tx, accounts, seed } => {
+                let name = format!("bk{idx}");
+                b.spawn(c0, programs::bank_server(&name, *tx));
+                b.spawn(c1, programs::bank_client(&name, *tx, *accounts, *seed));
+            }
+            Job::MultiBank { tx, seed } => {
+                // Disjoint account ranges: the bank's checksum must not
+                // depend on the serving order across clients, which is
+                // environmental (recovery preserves per-channel replay
+                // exactness, not cross-channel arrival timing).
+                let name = format!("mb{idx}-");
+                b.spawn(c0, programs::bank_server_multi(&name, 2, 2 * tx));
+                b.spawn(c1, programs::bank_client_at(&format!("{name}0"), *tx, 8, 0, *seed));
+                b.spawn(
+                    (c1 + 1) % clusters,
+                    programs::bank_client_at(&format!("{name}1"), *tx, 8, 8, seed + 1),
+                );
+            }
+            Job::Compute { iters, pages } => {
+                b.spawn(c0, programs::compute_loop(*iters, *pages));
+            }
+            Job::File { chunks } => {
+                let path = format!("/f{idx}");
+                b.spawn(c0, programs::file_writer(&path, *chunks, 128));
+            }
+        }
+    }
+}
+
+fn job_strategy() -> impl Strategy<Value = Job> {
+    prop_oneof![
+        (5u64..60).prop_map(|rounds| Job::PingPong { rounds }),
+        (5u64..80).prop_map(|count| Job::Stream { count }),
+        (4u64..48, prop_oneof![Just(8u64), Just(16)], 0u64..1000)
+            .prop_map(|(tx, accounts, seed)| Job::Bank { tx, accounts, seed }),
+        (8u64..60, 0u64..1000).prop_map(|(tx, seed)| Job::MultiBank { tx, seed }),
+        (5u64..40, 1u64..6).prop_map(|(iters, pages)| Job::Compute { iters, pages }),
+        (1u64..6).prop_map(|chunks| Job::File { chunks }),
+    ]
+}
+
+fn run(jobs: &[Job], clusters: u16, mode: BackupMode, crash: Option<(u64, u16)>) -> (bool, RunDigest) {
+    let mut b = SystemBuilder::new(clusters);
+    b.default_mode(mode);
+    for (i, j) in jobs.iter().enumerate() {
+        j.spawn(i, &mut b, clusters);
+    }
+    if let Some((at, victim)) = crash {
+        b.crash_at(VTime(at), victim);
+    }
+    let mut sys = b.build();
+    let done = sys.run(DEADLINE);
+    (done, sys.digest())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Identical inputs give bit-identical outcomes (determinism of the
+    /// whole simulation).
+    #[test]
+    fn prop_runs_are_reproducible(
+        jobs in proptest::collection::vec(job_strategy(), 1..4),
+        clusters in 2u16..5,
+    ) {
+        let a = run(&jobs, clusters, BackupMode::Quarterback, None);
+        let b = run(&jobs, clusters, BackupMode::Quarterback, None);
+        prop_assert!(a.0, "workload must complete");
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// §3.3/§6: any single crash is externally invisible.
+    #[test]
+    fn prop_single_crash_is_transparent(
+        jobs in proptest::collection::vec(job_strategy(), 1..4),
+        crash_at in 2_000u64..40_000,
+        victim in 0u16..3,
+    ) {
+        let clusters = 3;
+        let clean = run(&jobs, clusters, BackupMode::Quarterback, None);
+        prop_assert!(clean.0, "fault-free run must complete");
+        let crashed = run(&jobs, clusters, BackupMode::Quarterback, Some((crash_at, victim)));
+        prop_assert!(crashed.0, "crashed run must complete");
+        prop_assert_eq!(clean.1, crashed.1);
+    }
+
+    /// Sequential failures with restorations in between (each failure
+    /// single at a time, per §3.1), under halfback protection: the whole
+    /// fault *plan* is randomized.
+    #[test]
+    fn prop_sequential_faults_with_restores_are_transparent(
+        jobs in proptest::collection::vec(job_strategy(), 1..3),
+        first_crash in 4_000u64..20_000,
+        gap in 30_000u64..60_000,
+        victims in proptest::collection::vec(0u16..3, 1..3),
+    ) {
+        let clusters = 3;
+        let clean = run(&jobs, clusters, BackupMode::Halfback, None);
+        prop_assert!(clean.0, "fault-free run must complete");
+        let mut b = SystemBuilder::new(clusters);
+        b.default_mode(BackupMode::Halfback);
+        for (i, j) in jobs.iter().enumerate() {
+            j.spawn(i, &mut b, clusters);
+        }
+        let mut t = first_crash;
+        for v in &victims {
+            b.crash_at(VTime(t), *v);
+            b.restore_at(VTime(t + gap), *v);
+            t += 2 * gap; // The next failure comes well after restoration.
+        }
+        let mut sys = b.build();
+        prop_assert!(sys.run(DEADLINE), "faulted run must complete");
+        prop_assert_eq!(clean.1, sys.digest());
+    }
+
+    /// The same, under fullback protection on a larger machine.
+    #[test]
+    fn prop_fullback_crash_is_transparent(
+        jobs in proptest::collection::vec(job_strategy(), 1..3),
+        crash_at in 2_000u64..30_000,
+        victim in 0u16..4,
+    ) {
+        let clusters = 4;
+        let clean = run(&jobs, clusters, BackupMode::Fullback, None);
+        prop_assert!(clean.0);
+        let crashed = run(&jobs, clusters, BackupMode::Fullback, Some((crash_at, victim)));
+        prop_assert!(crashed.0);
+        prop_assert_eq!(clean.1, crashed.1);
+    }
+}

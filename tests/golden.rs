@@ -1,0 +1,70 @@
+//! Golden digests: canonical workloads pinned by fingerprint.
+//!
+//! The simulation is a pure function of its inputs, so these values are
+//! stable across machines and runs. A change here means the system's
+//! observable semantics changed — which must be deliberate. (Timing-only
+//! changes — cost-model tweaks — legitimately move fingerprints of
+//! workloads with cross-channel races; the pinned workloads below avoid
+//! those, so only semantic changes or serialization-visible timing
+//! changes touch them.)
+
+use auros::{programs, SystemBuilder, VTime};
+
+const DEADLINE: VTime = VTime(400_000_000);
+
+fn fp(build: impl FnOnce(&mut SystemBuilder)) -> u64 {
+    let mut b = SystemBuilder::new(3);
+    build(&mut b);
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    sys.digest().fingerprint()
+}
+
+/// Recomputes and compares; on mismatch prints the new value so a
+/// deliberate change can update the constant.
+fn check(name: &str, got: u64, want: u64) {
+    assert_eq!(got, want, "golden digest changed for {name}: new value {got:#018x}");
+}
+
+#[test]
+fn golden_pingpong() {
+    let got = fp(|b| {
+        b.spawn(0, programs::pingpong("g", 100, true));
+        b.spawn(1, programs::pingpong("g", 100, false));
+    });
+    let crashed = fp(|b| {
+        b.spawn(0, programs::pingpong("g", 100, true));
+        b.spawn(1, programs::pingpong("g", 100, false));
+        b.crash_at(VTime(8_000), 0);
+    });
+    assert_eq!(got, crashed, "crash transparency is part of the golden contract");
+    check("pingpong", got, golden::PINGPONG);
+}
+
+#[test]
+fn golden_bank() {
+    let got = fp(|b| {
+        b.spawn(0, programs::bank_server("g", 64));
+        b.spawn(1, programs::bank_client("g", 64, 16, 9));
+    });
+    check("bank", got, golden::BANK);
+}
+
+#[test]
+fn golden_files_and_terminal() {
+    let got = fp(|b| {
+        b.terminals(1);
+        b.spawn(0, programs::file_writer("/g", 6, 256));
+        b.spawn(1, programs::tty_session("tty:0", 1));
+        b.type_at(VTime(40_000), 0, b"golden\n");
+    });
+    check("files+tty", got, golden::FILES_TTY);
+}
+
+/// The pinned values. Regenerate by running with `--nocapture` after a
+/// deliberate semantic change and copying the printed values.
+mod golden {
+    pub const PINGPONG: u64 = 0x9e657baf4eb04ef8;
+    pub const BANK: u64 = 0xfd23a4dfb9447524;
+    pub const FILES_TTY: u64 = 0x4c87ecd8b8e5dc58;
+}

@@ -1,0 +1,455 @@
+//! Cross-crate integration tests: fault-free workloads exercising every
+//! part of the public API through the full simulated machine.
+
+use auros::{programs, BackupMode, SystemBuilder, VTime};
+
+const DEADLINE: VTime = VTime(200_000_000);
+
+#[test]
+fn compute_only_process_exits_with_checksum() {
+    let mut b = SystemBuilder::new(2);
+    let i = b.spawn(0, programs::compute_loop(50, 8));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    let status = sys.exit_of(i).expect("finished");
+    assert_ne!(status, 0);
+}
+
+#[test]
+fn pingpong_over_rendezvous_channel() {
+    let mut b = SystemBuilder::new(2);
+    let ping = b.spawn(0, programs::pingpong("pp", 30, true));
+    let pong = b.spawn(1, programs::pingpong("pp", 30, false));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert!(sys.exit_of(ping).is_some());
+    assert!(sys.exit_of(pong).is_some());
+}
+
+#[test]
+fn producer_consumer_stream_sums_match() {
+    let mut b = SystemBuilder::new(3);
+    let p = b.spawn(0, programs::producer("q", 100));
+    let c = b.spawn(2, programs::consumer("q", 100));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(
+        sys.exit_of(p),
+        sys.exit_of(c),
+        "the consumer's sum equals the producer's checksum"
+    );
+}
+
+#[test]
+fn three_stage_pipeline_transforms_data() {
+    let mut b = SystemBuilder::new(3);
+    let _src = b.spawn(0, programs::producer("s1", 40));
+    let _mid = b.spawn(1, programs::pipeline_stage("s1", "s2", 40));
+    let snk = b.spawn(2, programs::consumer("s2", 40));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    // The sink's sum is the transformed stream: sum(3v+7) over inputs.
+    let expected: u64 = (0..40u64)
+        .map(|i| {
+            let v = i.wrapping_mul(2_654_435_761).wrapping_add(17);
+            v.wrapping_mul(3).wrapping_add(7)
+        })
+        .fold(0u64, |a, v| a.wrapping_add(v));
+    assert_eq!(sys.exit_of(snk), Some(expected));
+}
+
+#[test]
+fn bank_transaction_processing_balances() {
+    let mut b = SystemBuilder::new(3);
+    let server = b.spawn(0, programs::bank_server("bank", 64));
+    let client = b.spawn(1, programs::bank_client("bank", 64, 16, 7));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    // The client's checksum over quoted balances equals the server's
+    // checksum over produced balances.
+    assert_eq!(sys.exit_of(server), sys.exit_of(client));
+}
+
+#[test]
+fn file_write_then_read_back() {
+    let mut b = SystemBuilder::new(2);
+    let w = b.spawn(0, programs::file_writer("/data", 6, 256));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(w), Some(6 * 256), "all bytes acknowledged");
+    let contents = sys.file_contents("/data").expect("file exists");
+    assert_eq!(contents.len(), 6 * 256);
+    let sum: u64 = contents
+        .chunks(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("aligned")))
+        .fold(0u64, |a, v| a.wrapping_add(v));
+    let want: u64 = (0..6u64)
+        .flat_map(|ch| (0..256u64 / 8).map(move |j| ch.wrapping_mul(1_315_423_911) + j * 8))
+        .fold(0u64, |a, v| a.wrapping_add(v));
+    assert_eq!(sum, want, "file contents match what the guest generated");
+}
+
+#[test]
+fn fork_creates_children_with_derived_pids() {
+    let mut b = SystemBuilder::new(2);
+    let parent = b.spawn(0, programs::forker(3, 200));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(parent), Some(3));
+    let parent_pid = sys.pids[parent];
+    let mut child_statuses: Vec<u64> = (0..3)
+        .filter_map(|i| {
+            let child = auros::bus::proto::derive_child_pid(parent_pid, i);
+            sys.world.exit_status(child)
+        })
+        .collect();
+    child_statuses.sort();
+    assert_eq!(child_statuses, vec![1000, 1001, 1002]);
+}
+
+#[test]
+fn time_flows_through_the_process_server() {
+    let mut b = SystemBuilder::new(2);
+    let i = b.spawn(0, programs::clock_sampler(5_000));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    let delta = sys.exit_of(i).expect("finished");
+    assert!(delta > 0, "time advanced between samples");
+    assert!(delta < 10_000_000, "and by a sane amount: {delta}");
+}
+
+#[test]
+fn alarm_delivers_sigalrm() {
+    let mut b = SystemBuilder::new(2);
+    let i = b.spawn(0, programs::alarm_waiter(20_000));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(i), Some(1), "exactly one alarm fired");
+}
+
+#[test]
+fn which_selects_across_two_channels() {
+    let mut b = SystemBuilder::new(3);
+    let sel = b.spawn(0, programs::selector("wa", "wb", 20));
+    let _pa = b.spawn(1, programs::producer("wa", 10));
+    let _pb = b.spawn(2, programs::producer("wb", 10));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert!(sys.exit_of(sel).is_some());
+}
+
+#[test]
+fn terminal_echo_session() {
+    let mut b = SystemBuilder::new(2);
+    b.terminals(1);
+    let i = b.spawn(0, programs::tty_session("tty:0", 2));
+    b.type_at(VTime(50_000), 0, b"hello\n");
+    b.type_at(VTime(90_000), 0, b"world\n");
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(i), Some(12), "twelve bytes echoed");
+    let out = sys.terminal_output(0);
+    assert_eq!(out, b"hello\nworld\n");
+}
+
+#[test]
+fn uncaught_sigint_kills_foreground_process() {
+    let mut b = SystemBuilder::new(2);
+    b.terminals(1);
+    // The session program installs no SIGINT handler.
+    let i = b.spawn(0, programs::tty_session("tty:0", 100));
+    b.type_at(VTime(50_000), 0, b"abc");
+    b.type_at(VTime(100_000), 0, &[0x03]);
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(i), Some(u64::MAX), "killed, not exited");
+}
+
+#[test]
+fn raw_disk_round_trip() {
+    let mut b = SystemBuilder::new(2);
+    b.raw_disks(1);
+    let w = b.spawn(0, programs::file_writer("raw:0", 4, 256));
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(w), Some(4 * 256));
+}
+
+#[test]
+fn all_backup_modes_run_fault_free() {
+    for mode in [BackupMode::Quarterback, BackupMode::Halfback, BackupMode::Fullback] {
+        let mut b = SystemBuilder::new(3);
+        let i = b.spawn_with_mode(0, programs::compute_loop(30, 4), mode);
+        let mut sys = b.build();
+        assert!(sys.run(DEADLINE), "{mode:?} completes");
+        assert!(sys.exit_of(i).is_some());
+    }
+}
+
+#[test]
+fn sync_cadence_is_tunable() {
+    let run = |max_reads: u64| {
+        let mut b = SystemBuilder::new(2);
+        b.config_mut().sync_max_reads = max_reads;
+        b.spawn(0, programs::pingpong("t", 60, true));
+        b.spawn(1, programs::pingpong("t", 60, false));
+        let mut sys = b.build();
+        assert!(sys.run(DEADLINE));
+        sys.world.stats.total_syncs()
+    };
+    let frequent = run(4);
+    let rare = run(64);
+    assert!(
+        frequent > rare,
+        "a lower read threshold must sync more often ({frequent} vs {rare})"
+    );
+}
+
+#[test]
+fn no_ft_baseline_sends_fewer_messages() {
+    let run = |ft: bool| {
+        let mut b = SystemBuilder::new(2);
+        if !ft {
+            b.without_fault_tolerance();
+        }
+        b.spawn(0, programs::pingpong("t", 40, true));
+        b.spawn(1, programs::pingpong("t", 40, false));
+        let mut sys = b.build();
+        assert!(sys.run(DEADLINE));
+        sys.world.stats.bus_bytes
+    };
+    let with_ft = run(true);
+    let without = run(false);
+    assert!(
+        with_ft > without,
+        "three-way delivery carries more bytes ({with_ft} vs {without})"
+    );
+}
+
+#[test]
+fn executive_absorbs_backup_copies() {
+    // §8.1: the two backup copies are handled by the executive
+    // processor; work processors are unaffected by their delivery.
+    let run = |ft: bool| {
+        let mut b = SystemBuilder::new(2);
+        if !ft {
+            b.without_fault_tolerance();
+        }
+        b.spawn(0, programs::pingpong("t", 50, true));
+        b.spawn(1, programs::pingpong("t", 50, false));
+        let mut sys = b.build();
+        assert!(sys.run(DEADLINE));
+        let s = &sys.world.stats;
+        (s.total_exec_busy().as_ticks(), s.total_work_busy().as_ticks())
+    };
+    let (exec_ft, _) = run(true);
+    let (exec_no, _) = run(false);
+    assert!(exec_ft > exec_no, "backup copies cost executive time");
+}
+
+#[test]
+fn kill_between_processes_delivers_signal() {
+    use auros_vm::inst::regs::*;
+    use auros_vm::{Program, ProgramBuilder, Sys};
+    // §7.5.2: `kill` travels as a message to the process server, which
+    // forwards the signal on the target's signal channel. The target
+    // counts two SIGUSR1s and exits with the count.
+    fn usr1_counter() -> Program {
+        let mut p = ProgramBuilder::new("usr1_counter");
+        let start = p.new_label();
+        p.jmp(start);
+        let handler = p.pos();
+        p.addi(R11, R11, 1);
+        p.trap(Sys::SigReturn);
+        p.bind(start);
+        p.li(R1, auros::bus::Sig::USR1.0 as u64);
+        p.li(R2, handler as u64);
+        p.trap(Sys::SigHandler);
+        let spin = p.here();
+        p.compute(100);
+        p.li(R7, 2);
+        p.ltu(R8, R11, R7);
+        p.jnz(R8, spin);
+        p.mov(R1, R11);
+        p.trap(Sys::Exit);
+        p.build()
+    }
+    // Pids are derivation-stable: discover the victim's pid from a dry
+    // build with the same spawn order, then embed it in the killer.
+    let victim_pid = {
+        let mut dry = SystemBuilder::new(3);
+        let v = dry.spawn(0, usr1_counter());
+        dry.build().pids[v]
+    };
+    let mut k = ProgramBuilder::new("killer");
+    k.compute(20_000);
+    for _ in 0..2 {
+        k.li(R1, victim_pid.0);
+        k.li(R2, auros::bus::Sig::USR1.0 as u64);
+        k.trap(Sys::Kill);
+        k.compute(20_000);
+    }
+    k.li(R1, 0);
+    k.trap(Sys::Exit);
+
+    let mut b = SystemBuilder::new(3);
+    let v = b.spawn(0, usr1_counter());
+    let _killer = b.spawn(1, k.build());
+    let mut sys = b.build();
+    assert_eq!(sys.pids[v], victim_pid, "pids are derivation-stable");
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(v), Some(2), "two signals handled");
+}
+
+#[test]
+fn ignored_signals_are_consumed_and_counted() {
+    use auros_vm::inst::regs::*;
+    use auros_vm::{ProgramBuilder, Sys};
+    // A process that IGNORES SIGINT (handler = 0) survives a control-C
+    // and still reads its terminal input afterwards (§7.5.2: "Any signal
+    // which is ignored is removed from the queue and is counted as a
+    // 'read since sync'").
+    let mut b = SystemBuilder::new(2);
+    b.terminals(1);
+    let mut p = ProgramBuilder::new("ignorer");
+    p.li(R1, auros::bus::Sig::INT.0 as u64);
+    p.li(R2, 0); // Ignore.
+    p.trap(Sys::SigHandler);
+    // Open the tty and read one chunk.
+    p.blit(256, b"tty:0", R1, R2);
+    p.li(R1, 256);
+    p.li(R2, 5);
+    p.trap(Sys::Open);
+    p.mov(R4, R0);
+    p.mov(R1, R4);
+    p.li(R2, 4096);
+    p.li(R3, 64);
+    p.trap(Sys::Read);
+    p.mov(R1, R0);
+    p.trap(Sys::Exit);
+    let i = b.spawn(0, p.build());
+    b.type_at(VTime(40_000), 0, &[0x03]); // Ignored.
+    b.type_at(VTime(80_000), 0, b"data\n");
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(i), Some(5), "survived the control-C and read the line");
+}
+
+#[test]
+fn close_makes_peer_reads_fail_after_drain() {
+    use auros_vm::inst::regs::*;
+    use auros_vm::{ProgramBuilder, Sys};
+    // Writer sends one value then closes; the reader drains it and its
+    // next read fails (peer gone + empty queue) instead of blocking.
+    let mut w = ProgramBuilder::new("closer");
+    w.blit(256, b"cl", R1, R2);
+    w.li(R1, 256);
+    w.li(R2, 2);
+    w.trap(Sys::Open);
+    w.mov(R4, R0);
+    w.li(R6, 777);
+    w.li(R7, 1024);
+    w.store_at(R6, R7, 0);
+    w.mov(R1, R4);
+    w.li(R2, 1024);
+    w.li(R3, 8);
+    w.trap(Sys::Write);
+    w.mov(R1, R4);
+    w.trap(Sys::Close);
+    w.li(R1, 1);
+    w.trap(Sys::Exit);
+
+    let mut r = ProgramBuilder::new("drainer");
+    r.blit(256, b"cl", R1, R2);
+    r.li(R1, 256);
+    r.li(R2, 2);
+    r.trap(Sys::Open);
+    r.mov(R4, R0);
+    r.mov(R1, R4);
+    r.li(R2, 1024);
+    r.li(R3, 8);
+    r.trap(Sys::Read); // Gets 777.
+    r.li(R7, 1024);
+    r.load(R10, R7, 0);
+    r.mov(R1, R4);
+    r.li(R2, 1024);
+    r.li(R3, 8);
+    r.trap(Sys::Read); // Fails: peer closed, queue empty.
+    let failed = r.new_label();
+    r.li(R7, u64::MAX);
+    r.eq(R8, R0, R7);
+    r.jnz(R8, failed);
+    r.li(R1, 0); // Unexpected success.
+    r.trap(Sys::Exit);
+    r.bind(failed);
+    r.mov(R1, R10);
+    r.trap(Sys::Exit);
+
+    let mut b = SystemBuilder::new(2);
+    let _writer = b.spawn(0, w.build());
+    let reader = b.spawn(1, r.build());
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(reader), Some(777), "drained the value, then saw EOF");
+}
+
+#[test]
+fn seek_replays_file_region() {
+    use auros_vm::inst::regs::*;
+    use auros_vm::{ProgramBuilder, Sys};
+    // Write 16 bytes, seek back to offset 8, read the tail.
+    let mut p = ProgramBuilder::new("seeker");
+    p.blit(256, b"/sk", R1, R2);
+    p.li(R1, 256);
+    p.li(R2, 3);
+    p.trap(Sys::Open);
+    p.mov(R4, R0);
+    p.li(R6, 0x1111_2222_3333_4444);
+    p.li(R7, 1024);
+    p.store_at(R6, R7, 0);
+    p.li(R6, 0x5555_6666_7777_8888);
+    p.store_at(R6, R7, 8);
+    p.mov(R1, R4);
+    p.li(R2, 1024);
+    p.li(R3, 16);
+    p.trap(Sys::Write);
+    p.mov(R1, R4);
+    p.li(R2, 8);
+    p.trap(Sys::Seek);
+    p.mov(R1, R4);
+    p.li(R2, 2048);
+    p.li(R3, 8);
+    p.trap(Sys::Read);
+    p.li(R7, 2048);
+    p.load(R1, R7, 0);
+    p.trap(Sys::Exit);
+    let mut b = SystemBuilder::new(2);
+    let i = b.spawn(0, p.build());
+    let mut sys = b.build();
+    assert!(sys.run(DEADLINE));
+    assert_eq!(sys.exit_of(i), Some(0x5555_6666_7777_8888));
+}
+
+#[test]
+fn dual_bus_failover_is_transparent() {
+    // §7.1: a dual high-speed intercluster bus. Failing bus A mid-run
+    // fails traffic over to bus B with no visible effect.
+    let run = |fail_bus: bool| {
+        let mut b = SystemBuilder::new(2);
+        b.spawn(0, programs::pingpong("db", 80, true));
+        b.spawn(1, programs::pingpong("db", 80, false));
+        let mut sys = b.build();
+        if fail_bus {
+            sys.run_until(VTime(5_000));
+            assert!(sys.world.bus.fail(auros::bus::BusKind::A), "bus B takes over");
+        }
+        assert!(sys.run(DEADLINE));
+        let b_frames = sys.world.bus.counters(auros::bus::BusKind::B).frames;
+        (sys.digest(), b_frames)
+    };
+    let (clean, b_clean) = run(false);
+    let (failed, b_failed) = run(true);
+    assert_eq!(clean, failed, "failover is invisible");
+    assert_eq!(b_clean, 0, "bus B idle in the clean run");
+    assert!(b_failed > 0, "bus B carried traffic after the failover");
+}

@@ -1,0 +1,46 @@
+//! Figure 1 (the hardware architecture) as checkable structure.
+
+use auros::{topology, SystemBuilder};
+
+#[test]
+fn figure_1_structure_holds() {
+    let mut b = SystemBuilder::new(4);
+    b.terminals(1);
+    b.raw_disks(1);
+    let sys = b.build();
+    let f = topology::facts(&sys);
+    // §7.1: 2..=32 clusters, two work processors, a dual bus, and
+    // dual-ported peripherals whose server pair spans two clusters.
+    assert!((2..=32).contains(&f.clusters));
+    assert_eq!(f.work_processors, 2);
+    assert!(f.dual_bus);
+    assert!(f.devices >= 4, "page store, fs disk, raw disk, terminal");
+    for (p, b) in &f.server_pairs {
+        assert_ne!(Some(*p), *b, "primary and backup in different clusters");
+    }
+}
+
+#[test]
+fn rendering_is_stable_and_complete() {
+    let mut b = SystemBuilder::new(2);
+    b.terminals(1);
+    let sys = b.build();
+    let art = topology::render(&sys);
+    assert!(art.contains("intercluster bus A"));
+    assert!(art.contains("intercluster bus B"));
+    assert!(art.contains("cluster 0"));
+    assert!(art.contains("cluster 1"));
+    assert!(art.contains("dual-ported"));
+}
+
+#[test]
+fn crashed_cluster_renders_as_down() {
+    use auros::{programs, VTime};
+    let mut b = SystemBuilder::new(3);
+    b.spawn(1, programs::compute_loop(200, 2));
+    b.crash_at(VTime(5_000), 2);
+    let mut sys = b.build();
+    sys.run(VTime(100_000_000));
+    let art = topology::render(&sys);
+    assert!(art.contains("DOWN"), "{art}");
+}
