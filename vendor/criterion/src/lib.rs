@@ -1,0 +1,121 @@
+//! Offline stub of the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors API-compatible stubs for its external dependencies. The
+//! benches still *run* under `cargo bench`: each `Bencher::iter` body is
+//! executed a small fixed number of times and a rough mean wall-clock
+//! time is printed — enough to eyeball regressions, with none of real
+//! criterion's statistics.
+
+use std::time::Instant;
+
+/// Measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u32,
+    last_mean_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records a rough mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup, then the timed runs.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() / u128::from(self.iters.max(1));
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take (mapped onto plain iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).max(1);
+        self
+    }
+
+    /// Measures `f` and prints the rough mean.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.iters, last_mean_ns: 0 };
+        f(&mut b);
+        println!("bench {}/{}: ~{} ns/iter (stub criterion)", self.name, id, b.last_mean_ns);
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Mirror of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), iters: 10, _parent: self }
+    }
+
+    /// Measures a stand-alone function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup { name: "bench".to_string(), iters: 10, _parent: self };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Opaque hint barrier (mirror of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("f", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 3, "body must actually run");
+    }
+}
