@@ -136,8 +136,7 @@ mod tests {
     #[test]
     fn checkpointing_slows_the_primary_far_more() {
         // §2's claim, measured: same workload, same cost constants.
-        let msg =
-            measure(oltp_builder(3, FtStrategy::MessageSystem, 1, 48, 8).build(), DEADLINE);
+        let msg = measure(oltp_builder(3, FtStrategy::MessageSystem, 1, 48, 8).build(), DEADLINE);
         let ckpt = measure(oltp_builder(3, FtStrategy::Checkpoint, 1, 48, 8).build(), DEADLINE);
         assert!(
             ckpt.work_busy > msg.work_busy * 2,
@@ -165,10 +164,7 @@ mod tests {
     fn message_system_throughput_beats_lockstep_at_scale() {
         let msg = throughput(Strategy::MessageSystem, 6, 24);
         let lock = throughput(Strategy::Lockstep, 6, 24);
-        assert!(
-            msg > lock,
-            "spare capacity must run primaries (§2): msg={msg:.1} lock={lock:.1}"
-        );
+        assert!(msg > lock, "spare capacity must run primaries (§2): msg={msg:.1} lock={lock:.1}");
     }
 
     #[test]

@@ -6,7 +6,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", auros_bench::e10_ablations());
     let mut g = c.benchmark_group("e10_ablations");
     g.sample_size(10);
-    g.bench_function("regenerate", |b| b.iter(|| std::hint::black_box(auros_bench::e10_ablations())));
+    g.bench_function("regenerate", |b| {
+        b.iter(|| std::hint::black_box(auros_bench::e10_ablations()))
+    });
     g.finish();
 }
 

@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", auros_bench::e1_delivery());
     let mut g = c.benchmark_group("e1_delivery");
     g.sample_size(10);
-    g.bench_function("regenerate", |b| {
-        b.iter(|| std::hint::black_box(auros_bench::e1_delivery()))
-    });
+    g.bench_function("regenerate", |b| b.iter(|| std::hint::black_box(auros_bench::e1_delivery())));
     g.finish();
 }
 

@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", auros_bench::e4_recovery());
     let mut g = c.benchmark_group("e4_recovery");
     g.sample_size(10);
-    g.bench_function("regenerate", |b| {
-        b.iter(|| std::hint::black_box(auros_bench::e4_recovery()))
-    });
+    g.bench_function("regenerate", |b| b.iter(|| std::hint::black_box(auros_bench::e4_recovery())));
     g.finish();
 }
 

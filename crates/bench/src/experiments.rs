@@ -5,7 +5,7 @@
 
 use auros::kernel::config::FtStrategy;
 use auros::kernel::ServerLogic;
-use auros::{programs, BackupMode, SystemBuilder, System, VTime};
+use auros::{programs, BackupMode, System, SystemBuilder, VTime};
 use auros_baseline as baseline;
 
 use crate::table::Table;
@@ -109,12 +109,11 @@ pub fn e3_vs_checkpoint() -> Table {
     let mut slowdowns = Vec::new();
     for pages in [4u64, 16, 48] {
         let mut spans = [0u64; 2];
-        for (i, strat) in [FtStrategy::MessageSystem, FtStrategy::Checkpoint].into_iter().enumerate()
+        for (i, strat) in
+            [FtStrategy::MessageSystem, FtStrategy::Checkpoint].into_iter().enumerate()
         {
-            let sample = baseline::measure(
-                baseline::oltp_builder(3, strat, 1, 64, pages).build(),
-                DEADLINE,
-            );
+            let sample =
+                baseline::measure(baseline::oltp_builder(3, strat, 1, 64, pages).build(), DEADLINE);
             spans[i] = sample.makespan;
             t.row(vec![
                 pages.to_string(),
@@ -141,8 +140,14 @@ pub fn e3_vs_checkpoint() -> Table {
 pub fn e4_recovery() -> Table {
     let mut t = Table::new(
         "E4 — §8.4 crash handling and recovery (rollforward vs sync cadence)",
-        &["variant", "crash_at", "promote_latency", "replayed_sends", "page_faults",
-          "makespan_delta"],
+        &[
+            "variant",
+            "crash_at",
+            "promote_latency",
+            "replayed_sends",
+            "page_faults",
+            "makespan_delta",
+        ],
     );
     for max_reads in [4u64, 16, 64] {
         let build = |crash: Option<u64>| {
@@ -257,8 +262,7 @@ pub fn e5_backup_modes() -> Table {
             )
         };
         let (one, created, busy) = survive(&[(8_000, 0, false)]);
-        let (crc, _, _) =
-            survive(&[(8_000, 0, false), (25_000, 0, true), (60_000, 1, false)]);
+        let (crc, _, _) = survive(&[(8_000, 0, false), (25_000, 0, true), (60_000, 1, false)]);
         t.row(vec![
             format!("{mode:?}"),
             one.to_string(),
@@ -291,16 +295,10 @@ pub fn e6_deferred_backup() -> Table {
             // Child backups = records created at the backup cluster for
             // pids other than the head of family and the servers.
             let head = sys.pids[0];
-            let child_pids: Vec<_> = (0..children)
-                .map(|i| auros::bus::proto::derive_child_pid(head, i))
-                .collect();
-            let child_backups = sys
-                .world
-                .stats
-                .clusters
-                .iter()
-                .map(|c| c.backups_created)
-                .sum::<u64>();
+            let child_pids: Vec<_> =
+                (0..children).map(|i| auros::bus::proto::derive_child_pid(head, i)).collect();
+            let child_backups =
+                sys.world.stats.clusters.iter().map(|c| c.backups_created).sum::<u64>();
             let births: usize = sys.world.clusters.iter().map(|c| c.births.len()).sum();
             let _ = child_pids;
             t.row(vec![
@@ -338,9 +336,8 @@ pub fn e7_fileserver() -> Table {
         let mut clean = build(None);
         let mut crashed = build(Some(9_000));
         let consistent = clean.file_contents("/e7") == crashed.file_contents("/e7");
-        let (commits, image) = clean
-            .with_fs(|fs, disk| (disk.commits, fs.image_size()))
-            .expect("fs alive");
+        let (commits, image) =
+            clean.with_fs(|fs, disk| (disk.commits, fs.image_size())).expect("fs alive");
         t.row(vec![
             chunks.to_string(),
             commits.to_string(),
@@ -431,10 +428,7 @@ pub fn e10_ablations() -> Table {
     let variants: [(&str, Ablations); 3] = [
         ("full system", Ablations::default()),
         ("no §5.4 suppression", Ablations { no_suppression: true, ..Default::default() }),
-        (
-            "no §5.1 atomic delivery",
-            Ablations { no_atomic_delivery: true, ..Default::default() },
-        ),
+        ("no §5.1 atomic delivery", Ablations { no_atomic_delivery: true, ..Default::default() }),
     ];
     let offsets = [4_000u64, 8_000, 12_000, 16_000, 20_000, 24_000];
     for (name, abl) in variants {
@@ -558,8 +552,8 @@ mod tests {
     fn e10_full_system_never_diverges_and_ablations_do() {
         let t = e10_ablations();
         assert_eq!(t.rows[0][2], "0", "full system: no divergent digest");
-        let broken: u64 = t.rows[1][2].parse::<u64>().unwrap()
-            + t.rows[2][2].parse::<u64>().unwrap();
+        let broken: u64 =
+            t.rows[1][2].parse::<u64>().unwrap() + t.rows[2][2].parse::<u64>().unwrap();
         assert!(broken > 0, "at least one ablation must visibly break recovery: {t}");
     }
 }

@@ -68,9 +68,7 @@ impl fmt::Display for Table {
             .headers
             .iter()
             .enumerate()
-            .map(|(i, h)| {
-                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
-            })
+            .map(|(i, h)| self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0))
             .collect();
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             write!(f, "  ")?;

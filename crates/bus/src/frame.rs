@@ -98,7 +98,8 @@ mod tests {
 
     #[test]
     fn at_most_one_primary_target() {
-        let msg = Message { id: MsgId(1), src: Pid(1), payload: Payload::Data(vec![]), nondet: vec![] };
+        let msg =
+            Message { id: MsgId(1), src: Pid(1), payload: Payload::Data(vec![]), nondet: vec![] };
         let bad = Frame {
             src_cluster: ClusterId(0),
             targets: vec![
@@ -122,8 +123,18 @@ mod tests {
 
     #[test]
     fn wire_size_grows_with_payload() {
-        let small = Message { id: MsgId(1), src: Pid(1), payload: Payload::Data(vec![0; 8]), nondet: vec![] };
-        let large = Message { id: MsgId(2), src: Pid(1), payload: Payload::Data(vec![0; 800]), nondet: vec![] };
+        let small = Message {
+            id: MsgId(1),
+            src: Pid(1),
+            payload: Payload::Data(vec![0; 8]),
+            nondet: vec![],
+        };
+        let large = Message {
+            id: MsgId(2),
+            src: Pid(1),
+            payload: Payload::Data(vec![0; 800]),
+            nondet: vec![],
+        };
         assert!(large.wire_size() > small.wire_size());
     }
 }

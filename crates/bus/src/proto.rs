@@ -231,7 +231,8 @@ pub struct KernelState {
 
 impl KernelState {
     fn wire_size(&self) -> usize {
-        self.fds.len() * 12 + self.bunches.iter().map(|(_, v)| 8 + v.len() * 4).sum::<usize>()
+        self.fds.len() * 12
+            + self.bunches.iter().map(|(_, v)| 8 + v.len() * 4).sum::<usize>()
             + self.handlers.len() * 5
             + 12
             + self.pending.as_ref().map_or(0, |_| 24)

@@ -93,6 +93,21 @@ impl BusSchedule {
         }
     }
 
+    /// Fails the currently active bus at `now`; pending reservations on
+    /// it are void and the standby's timeline starts fresh at `now`.
+    ///
+    /// Returns the newly active bus, or `None` if the pair is exhausted.
+    /// The caller owns retransmission of in-flight frames: every window
+    /// granted by [`BusSchedule::reserve`] that had not completed by
+    /// `now` must be re-reserved on the survivor.
+    pub fn fail_active(&mut self, now: VTime) -> Option<BusKind> {
+        let dead = self.active()?;
+        self.fail(dead);
+        let survivor = self.active()?;
+        self.free_at = now;
+        Some(survivor)
+    }
+
     /// Reserves the next exclusive transmission window.
     ///
     /// `earliest` is when the transmitting executive is ready; `xmit` is
@@ -173,6 +188,23 @@ mod tests {
         bus.reserve(VTime(0), Dur(10), 1);
         assert_eq!(bus.counters(BusKind::B).frames, 1);
         assert!(!bus.fail(BusKind::B), "double bus fault exhausts the pair");
+        assert!(bus.reserve(VTime(0), Dur(1), 1).is_none());
+    }
+
+    #[test]
+    fn fail_active_resets_standby_timeline() {
+        let mut bus = BusSchedule::new();
+        // A long frame occupies bus A far into the future.
+        bus.reserve(VTime(0), Dur(1_000), 64);
+        assert_eq!(bus.free_at(), VTime(1_000));
+        // A dies mid-window; B takes over with a clean schedule.
+        assert_eq!(bus.fail_active(VTime(400)), Some(BusKind::B));
+        assert_eq!(bus.free_at(), VTime(400), "standby is not encumbered by A's windows");
+        let (s, e) = bus.reserve(VTime(0), Dur(10), 64).unwrap();
+        assert_eq!((s, e), (VTime(400), VTime(410)));
+        assert_eq!(bus.counters(BusKind::B).frames, 1);
+        // The second failure exhausts the pair.
+        assert_eq!(bus.fail_active(VTime(500)), None);
         assert!(bus.reserve(VTime(0), Dur(1), 1).is_none());
     }
 

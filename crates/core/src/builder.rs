@@ -18,6 +18,7 @@ use auros_pager::{PageServer, PageStore};
 use auros_sim::VTime;
 use auros_vm::Program;
 
+use crate::fault::{FaultEvent, FaultPlanError};
 use crate::oracle::RunDigest;
 
 /// Builds a [`System`].
@@ -26,10 +27,8 @@ pub struct SystemBuilder {
     terminals: u16,
     raw_disks: u16,
     spawns: Vec<(ClusterId, Program, Option<BackupMode>)>,
-    crashes: Vec<(VTime, ClusterId)>,
-    restores: Vec<(VTime, ClusterId)>,
+    faults: Vec<FaultEvent>,
     typed: Vec<(VTime, u16, Vec<u8>)>,
-    partial_failures: Vec<(VTime, usize)>,
 }
 
 impl SystemBuilder {
@@ -46,10 +45,8 @@ impl SystemBuilder {
             terminals: 0,
             raw_disks: 0,
             spawns: Vec::new(),
-            crashes: Vec::new(),
-            restores: Vec::new(),
+            faults: Vec::new(),
             typed: Vec::new(),
-            partial_failures: Vec::new(),
         }
     }
 
@@ -106,14 +103,44 @@ impl SystemBuilder {
 
     /// Schedules a total failure of `cluster` at `at` (§3.1).
     pub fn crash_at(&mut self, at: VTime, cluster: u16) -> &mut Self {
-        self.crashes.push((at, ClusterId(cluster)));
-        self
+        self.fault(FaultEvent::ClusterCrash { at, cluster })
     }
 
     /// Schedules the return-to-service of `cluster` at `at` (§7.3).
     pub fn restore_at(&mut self, at: VTime, cluster: u16) -> &mut Self {
-        self.restores.push((at, ClusterId(cluster)));
+        self.fault(FaultEvent::Restore { at, cluster })
+    }
+
+    /// Schedules a failure of the active intercluster bus at `at`; the
+    /// standby of the dual pair takes over, retransmitting in-flight
+    /// frames (§7.1). A second bus failure exhausts the pair.
+    pub fn bus_fail_at(&mut self, at: VTime) -> &mut Self {
+        self.fault(FaultEvent::BusFail { at })
+    }
+
+    /// Schedules a failure of one mirror of disk pair `disk` at `at`
+    /// (§7.9). Disk 0 is the file-system pair; disk `1 + k` is raw disk
+    /// `k`. The first fault on a pair kills its first half; a second
+    /// fault on the same pair kills the survivor.
+    pub fn disk_half_fail_at(&mut self, at: VTime, disk: u16) -> &mut Self {
+        self.fault(FaultEvent::DiskHalfFail { at, disk })
+    }
+
+    /// Appends one typed fault to the plan.
+    pub fn fault(&mut self, ev: FaultEvent) -> &mut Self {
+        self.faults.push(ev);
         self
+    }
+
+    /// Appends a whole fault plan.
+    pub fn fault_plan(&mut self, plan: impl IntoIterator<Item = FaultEvent>) -> &mut Self {
+        self.faults.extend(plan);
+        self
+    }
+
+    /// The fault plan accumulated so far.
+    pub fn faults(&self) -> &[FaultEvent] {
+        &self.faults
     }
 
     /// Types bytes at terminal `term` at time `at`.
@@ -127,16 +154,42 @@ impl SystemBuilder {
     /// that process; its cluster stays up and only its backup is
     /// promoted.
     pub fn fail_process_at(&mut self, at: VTime, spawn_index: usize) -> &mut Self {
-        self.partial_failures.push((at, spawn_index));
-        self
+        self.fault(FaultEvent::ProcessFail { at, spawn: spawn_index })
     }
 
-    /// Assembles the system.
+    /// Assembles the system, panicking on an invalid fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`Config::validate`]) or
+    /// an invalid fault plan (see [`SystemBuilder::try_build`]).
+    pub fn build(&self) -> System {
+        match self.try_build() {
+            Ok(sys) => sys,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
+    }
+
+    /// Assembles the system, rejecting nonsensical fault plans.
+    ///
+    /// A plan is rejected if it crashes a cluster the machine does not
+    /// have, crashes a cluster already down (without an intervening
+    /// restore), restores a live cluster, names a missing disk pair, or
+    /// schedules any fault at `VTime(0)`. Merely *unsurvivable* plans
+    /// (both buses, both mirrors, primary and backup at once) build
+    /// fine — driving the machine past its fault model is the chaos
+    /// sweep's job.
     ///
     /// # Panics
     ///
     /// Panics on an invalid configuration (see [`Config::validate`]).
-    pub fn build(&self) -> System {
+    pub fn try_build(&self) -> Result<System, FaultPlanError> {
+        crate::fault::validate(
+            &self.faults,
+            self.cfg.clusters,
+            1 + self.raw_disks,
+            self.spawns.len(),
+        )?;
         let cfg = self.cfg.clone();
         let n = cfg.clusters;
         let ft = cfg.ft_enabled();
@@ -198,8 +251,10 @@ impl SystemBuilder {
 
         // Raw servers.
         let mut raw_pids = Vec::new();
+        let mut raw_devs = Vec::new();
         for k in 0..self.raw_disks {
             let dev = world.add_device(Box::new(DiskPair::new()));
+            raw_devs.push(dev);
             let home = k % n;
             let pid = world.install_server(
                 Box::new(RawServer::new()),
@@ -219,13 +274,25 @@ impl SystemBuilder {
             let notify_end = ChanEnd { channel: ChannelId::bootstrap(*pid, 3), side: Side::A };
             fileserver.add_tty_route(
                 format!("tty:{k}"),
-                DeviceRoute { pid: *pid, cluster, backup, notify_end: Some(notify_end), line: *line },
+                DeviceRoute {
+                    pid: *pid,
+                    cluster,
+                    backup,
+                    notify_end: Some(notify_end),
+                    line: *line,
+                },
             );
         }
         for (k, (pid, cluster, backup)) in raw_pids.iter().enumerate() {
             fileserver.add_raw_route(
                 format!("raw:{k}"),
-                DeviceRoute { pid: *pid, cluster: *cluster, backup: *backup, notify_end: None, line: 0 },
+                DeviceRoute {
+                    pid: *pid,
+                    cluster: *cluster,
+                    backup: *backup,
+                    notify_end: None,
+                    line: 0,
+                },
             );
         }
         let fs_pid = world.install_server(
@@ -283,25 +350,41 @@ impl SystemBuilder {
             pids.push(pid);
         }
 
-        // The fault plan and the terminal script.
-        for (at, cluster) in &self.crashes {
-            world.queue.schedule(*at, Event::Crash { cluster: *cluster });
-        }
-        for (at, cluster) in &self.restores {
-            world.queue.schedule(*at, Event::Restore { cluster: *cluster });
+        // The fault plan and the terminal script. Faults are scheduled
+        // in plan order; the queue fires them in (time, insertion) order.
+        let mut halves_failed = vec![0u32; 1 + self.raw_disks as usize];
+        for ev in &self.faults {
+            match *ev {
+                FaultEvent::ClusterCrash { at, cluster } => {
+                    world.queue.schedule(at, Event::Crash { cluster: ClusterId(cluster) });
+                }
+                FaultEvent::Restore { at, cluster } => {
+                    world.queue.schedule(at, Event::Restore { cluster: ClusterId(cluster) });
+                }
+                FaultEvent::BusFail { at } => {
+                    world.queue.schedule(at, Event::BusFail);
+                }
+                FaultEvent::DiskHalfFail { at, disk } => {
+                    let device = if disk == 0 { fs_disk } else { raw_devs[disk as usize - 1] };
+                    // The first fault on a pair takes its first half; any
+                    // further fault takes the survivor.
+                    let second = halves_failed[disk as usize] > 0;
+                    halves_failed[disk as usize] += 1;
+                    world.queue.schedule(at, Event::DiskHalfFail { device, second });
+                }
+                FaultEvent::ProcessFail { at, spawn } => {
+                    world.queue.schedule(at, Event::PartialFailure { pid: pids[spawn] });
+                }
+            }
         }
         for (at, term, bytes) in &self.typed {
             let (dev, line, _) = term_map[*term as usize];
-            world.queue.schedule(
-                *at,
-                Event::TerminalInput { device: dev, line, data: bytes.clone() },
-            );
-        }
-        for (at, idx) in &self.partial_failures {
-            world.queue.schedule(*at, Event::PartialFailure { pid: pids[*idx] });
+            world
+                .queue
+                .schedule(*at, Event::TerminalInput { device: dev, line, data: bytes.clone() });
         }
 
-        System {
+        Ok(System {
             world,
             pids,
             proc_pid,
@@ -310,7 +393,7 @@ impl SystemBuilder {
             fs_device: fs_disk,
             tty_pids: tty_pids.into_iter().map(|(p, _, _)| p).collect(),
             term_map,
-        }
+        })
     }
 }
 
@@ -399,9 +482,7 @@ impl System {
                 }
                 _ => None,
             })?;
-        let disk = self.world.devices[self.fs_device]
-            .as_any_mut()
-            .downcast_mut::<DiskPair>()?;
+        let disk = self.world.devices[self.fs_device].as_any_mut().downcast_mut::<DiskPair>()?;
         Some(f(&fs, disk))
     }
 
@@ -412,18 +493,12 @@ impl System {
 
     /// The externally visible record of the run, for oracle comparisons.
     pub fn digest(&mut self) -> RunDigest {
-        let exits = self
-            .pids
-            .iter()
-            .map(|p| (*p, self.world.exit_status(*p)))
-            .collect();
+        let exits = self.pids.iter().map(|p| (*p, self.world.exit_status(*p))).collect();
         let files = self
             .with_fs(|fs, disk| {
                 fs.list_files()
                     .into_iter()
-                    .filter_map(|name| {
-                        fs.file_contents(&name, disk).map(|data| (name, data))
-                    })
+                    .filter_map(|name| fs.file_contents(&name, disk).map(|data| (name, data)))
                     .collect()
             })
             .unwrap_or_default();
@@ -438,18 +513,12 @@ impl System {
     /// measures the delay §3.3 promises to keep short.
     pub fn wait_stats(&self, i: usize) -> (u64, u64, u64) {
         let pid = self.pids[i];
-        let live = self
-            .world
-            .clusters
-            .iter()
-            .filter(|c| c.alive)
-            .filter_map(|c| c.procs.get(&pid));
+        let live = self.world.clusters.iter().filter(|c| c.alive).filter_map(|c| c.procs.get(&pid));
         // Prefer the live incarnation over a husk left by a partial
         // failure; fall back to whatever exists (exited processes keep
         // their ledgers).
         let best = live.clone().find(|p| !p.is_dead()).or_else(|| live.clone().next());
-        best.map(|p| (p.total_wait.as_ticks(), p.waits, p.max_wait.as_ticks()))
-            .unwrap_or((0, 0, 0))
+        best.map(|p| (p.total_wait.as_ticks(), p.waits, p.max_wait.as_ticks())).unwrap_or((0, 0, 0))
     }
 
     /// The page server's live state (test oracle).

@@ -1,0 +1,341 @@
+//! Seeded chaos sweep: random fault plans against the survivability
+//! oracle.
+//!
+//! The paper's fault model is crisp — any *single* hardware failure is
+//! survived transparently (§3.1), and sequenced multiple failures are
+//! survived once re-protection completes between them (§7.10.2) — but a
+//! handful of hand-written scenarios only probes the corners someone
+//! thought of. The sweep samples fault plans from a seeded generator
+//! (cluster crashes, bus failures, disk-mirror failures, sequenced
+//! double faults) and runs each against its fault-free twin:
+//!
+//! * a plan *inside* the fault model must complete, match the fault-free
+//!   digest, and leave the survivors structurally sound
+//!   ([`check_survival`]);
+//! * a plan *outside* the model (both buses, primary and backup before
+//!   re-protection, both dual ports of a device) must fail **loudly** —
+//!   an incomplete run, or survivors observing the loss and exiting
+//!   with different statuses — never a completed run whose every exit
+//!   status matches the twin while the file or terminal output differs,
+//!   which would be silent corruption.
+//!
+//! Every run is deterministic, so any failure reproduces from the seed.
+
+use auros_bus::proto::BackupMode;
+use auros_sim::{DetRng, VTime};
+
+use crate::fault::FaultEvent;
+use crate::oracle::{check_survival, RunDigest};
+use crate::{programs, System, SystemBuilder};
+
+/// Clusters in the sweep machine.
+const CLUSTERS: u16 = 4;
+/// Hard stop for each run, far beyond normal completion.
+const DEADLINE: VTime = VTime(5_000_000);
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Master seed; every sampled plan derives from it.
+    pub seed: u64,
+    /// How many fault plans to sample.
+    pub plans: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig { seed: 0xA42_0001, plans: 100 }
+    }
+}
+
+/// The shape of one sampled plan.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum PlanKind {
+    /// One cluster crashes (§3.1).
+    SingleCrash,
+    /// The active bus fails; the standby takes over (§7.1).
+    SingleBusFail,
+    /// One mirror of the file-system disk pair fails (§7.9).
+    SingleDiskHalf,
+    /// Two different clusters crash, the second after re-protection
+    /// completed (§7.10.2).
+    CrashThenCrash,
+    /// A cluster crashes, returns to service, and crashes again.
+    CrashRestoreCrash,
+    /// A bus failure and a cluster crash in one run — different fault
+    /// domains, both inside the model.
+    BusFailPlusCrash,
+    /// Both buses fail: outside the fault model, must be reported.
+    DoubleBusFail,
+    /// A second cluster crashes before re-protection completes, taking
+    /// the fresh promotions' hosts down: outside the model.
+    RapidDoubleCrash,
+}
+
+impl PlanKind {
+    /// Whether the paper's fault model promises survival of this shape.
+    pub fn expect_survivable(self) -> bool {
+        !matches!(self, PlanKind::DoubleBusFail | PlanKind::RapidDoubleCrash)
+    }
+
+    /// All shapes the sampler draws from.
+    pub const ALL: [PlanKind; 8] = [
+        PlanKind::SingleCrash,
+        PlanKind::SingleBusFail,
+        PlanKind::SingleDiskHalf,
+        PlanKind::CrashThenCrash,
+        PlanKind::CrashRestoreCrash,
+        PlanKind::BusFailPlusCrash,
+        PlanKind::DoubleBusFail,
+        PlanKind::RapidDoubleCrash,
+    ];
+}
+
+/// What one plan did.
+#[derive(Clone, Debug)]
+pub struct PlanOutcome {
+    /// Index within the sweep.
+    pub index: usize,
+    /// Sampled shape.
+    pub kind: PlanKind,
+    /// The concrete fault events.
+    pub events: Vec<FaultEvent>,
+    /// Whether the fault model promises survival.
+    pub expect_survivable: bool,
+    /// Whether the workload completed before the deadline.
+    pub completed: bool,
+    /// Whether the run survived in full: completed, externally
+    /// indistinguishable, structurally sound.
+    pub survived: bool,
+    /// Worst crash-to-last-promotion latency of the run, in ticks.
+    pub recovery_latency: Option<u64>,
+    /// First oracle violation, if any.
+    pub violation: Option<String>,
+}
+
+/// The sweep's verdict.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The master seed (reproduces everything).
+    pub seed: u64,
+    /// Per-plan outcomes.
+    pub outcomes: Vec<PlanOutcome>,
+    /// Oracle failures: survivable plans that did not survive, and any
+    /// plan — survivable or not — that corrupted silently (completed
+    /// with every exit status matching the fault-free twin while file
+    /// or terminal output differs).
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Plans that survived in full.
+    pub fn survived(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.survived).count()
+    }
+
+    /// Plans reported unsurvivable (incomplete runs).
+    pub fn unsurvivable(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.completed).count()
+    }
+
+    /// How many plans of `kind` were sampled.
+    pub fn count_of(&self, kind: PlanKind) -> usize {
+        self.outcomes.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Worst crash-to-last-promotion latency across the sweep, in ticks.
+    pub fn max_recovery_latency(&self) -> Option<u64> {
+        self.outcomes.iter().filter_map(|o| o.recovery_latency).max()
+    }
+
+    /// A one-screen summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "chaos sweep: seed {:#x}, {} plans, {} survived, {} reported unsurvivable, {} failures",
+            self.seed,
+            self.outcomes.len(),
+            self.survived(),
+            self.unsurvivable(),
+            self.failures.len()
+        );
+        for kind in PlanKind::ALL {
+            let _ = writeln!(out, "  {:?}: {}", kind, self.count_of(kind));
+        }
+        if let Some(l) = self.max_recovery_latency() {
+            let _ = writeln!(out, "  worst recovery latency: {l} ticks");
+        }
+        for f in &self.failures {
+            let _ = writeln!(out, "  FAILURE: {f}");
+        }
+        out
+    }
+}
+
+/// The fixed sweep workload: traffic on every cluster and every fault
+/// domain — cross-cluster rendezvous messaging, file-system writes, and
+/// demand-paged computation. Everything runs as a fullback, the paper's
+/// flagship mode, so sequenced faults exercise §7.10.2 backup
+/// re-creation rather than quarterback run-unprotected semantics.
+fn workload(b: &mut SystemBuilder) {
+    b.spawn_with_mode(0, programs::pingpong("chaos", 40, true), BackupMode::Fullback);
+    b.spawn_with_mode(1, programs::pingpong("chaos", 40, false), BackupMode::Fullback);
+    b.spawn_with_mode(2, programs::file_writer("/chaos", 8, 48), BackupMode::Fullback);
+    b.spawn_with_mode(3, programs::compute_loop(600, 4), BackupMode::Fullback);
+}
+
+/// Samples one fault plan from `rng`.
+fn sample_plan(rng: &mut DetRng) -> (PlanKind, Vec<FaultEvent>) {
+    let kind = PlanKind::ALL[rng.below(PlanKind::ALL.len() as u64) as usize];
+    let events = match kind {
+        PlanKind::SingleCrash => {
+            let cluster = rng.below(CLUSTERS as u64) as u16;
+            vec![FaultEvent::ClusterCrash { at: VTime(rng.range(3_000, 60_000)), cluster }]
+        }
+        PlanKind::SingleBusFail => {
+            vec![FaultEvent::BusFail { at: VTime(rng.range(2_000, 60_000)) }]
+        }
+        PlanKind::SingleDiskHalf => {
+            vec![FaultEvent::DiskHalfFail { at: VTime(rng.range(2_000, 60_000)), disk: 0 }]
+        }
+        PlanKind::CrashThenCrash => {
+            let a = rng.below(CLUSTERS as u64) as u16;
+            // The second victim must not be `a`'s dual-ported partner:
+            // the partner pair hosts *both* homes of a peripheral
+            // server (fs and pager at 0/1, the process server at 3/2),
+            // and peripheral servers are halfbacks pinned to their
+            // device's two ports (§7.3) — losing both is outside the
+            // fault model no matter how far apart the crashes land.
+            let partner = a ^ 1;
+            let candidates: Vec<u16> = (0..CLUSTERS).filter(|&c| c != a && c != partner).collect();
+            let b = candidates[rng.below(candidates.len() as u64) as usize];
+            let t1 = rng.range(3_000, 10_000);
+            // Far enough apart for re-protection to finish (§7.10.2).
+            let t2 = t1 + rng.range(50_000, 65_000);
+            vec![
+                FaultEvent::ClusterCrash { at: VTime(t1), cluster: a },
+                FaultEvent::ClusterCrash { at: VTime(t2), cluster: b },
+            ]
+        }
+        PlanKind::CrashRestoreCrash => {
+            let a = rng.below(CLUSTERS as u64) as u16;
+            let t1 = rng.range(3_000, 10_000);
+            let tr = t1 + rng.range(25_000, 35_000);
+            let t2 = tr + rng.range(40_000, 50_000);
+            vec![
+                FaultEvent::ClusterCrash { at: VTime(t1), cluster: a },
+                FaultEvent::Restore { at: VTime(tr), cluster: a },
+                FaultEvent::ClusterCrash { at: VTime(t2), cluster: a },
+            ]
+        }
+        PlanKind::BusFailPlusCrash => {
+            let cluster = rng.below(CLUSTERS as u64) as u16;
+            vec![
+                FaultEvent::BusFail { at: VTime(rng.range(2_000, 50_000)) },
+                FaultEvent::ClusterCrash { at: VTime(rng.range(3_000, 60_000)), cluster },
+            ]
+        }
+        PlanKind::DoubleBusFail => {
+            let t1 = rng.range(2_000, 30_000);
+            let t2 = t1 + rng.range(1_000, 30_000);
+            vec![FaultEvent::BusFail { at: VTime(t1) }, FaultEvent::BusFail { at: VTime(t2) }]
+        }
+        PlanKind::RapidDoubleCrash => {
+            // The neighbour hosts the victims' backups; killing it before
+            // re-protection completes destroys both copies.
+            let a = rng.below(CLUSTERS as u64) as u16;
+            let b = (a + 1) % CLUSTERS;
+            let t1 = rng.range(3_000, 15_000);
+            let t2 = t1 + 1 + rng.below(1_500);
+            vec![
+                FaultEvent::ClusterCrash { at: VTime(t1), cluster: a },
+                FaultEvent::ClusterCrash { at: VTime(t2), cluster: b },
+            ]
+        }
+    };
+    (kind, events)
+}
+
+fn build(plan: &[FaultEvent]) -> System {
+    let mut b = SystemBuilder::new(CLUSTERS);
+    workload(&mut b);
+    b.fault_plan(plan.iter().copied());
+    b.try_build().expect("sampled plans are always well-formed")
+}
+
+/// Runs the sweep.
+pub fn run_sweep(cfg: &ChaosConfig) -> ChaosReport {
+    // The fault-free twin, computed once: the workload is fixed.
+    let mut clean_sys = build(&[]);
+    assert!(clean_sys.run(DEADLINE), "the fault-free workload must complete");
+    let clean: RunDigest = clean_sys.digest();
+
+    let mut rng = DetRng::seed(cfg.seed);
+    let mut outcomes = Vec::with_capacity(cfg.plans);
+    let mut failures = Vec::new();
+    for index in 0..cfg.plans {
+        let mut plan_rng = rng.split(index as u64);
+        let (kind, events) = sample_plan(&mut plan_rng);
+        let expect_survivable = kind.expect_survivable();
+        let mut sys = build(&events);
+        let completed = sys.run(DEADLINE);
+        let digest = completed.then(|| sys.digest());
+        let violation;
+        let survived = match &digest {
+            Some(d) if *d == clean => {
+                let survival = check_survival(&sys);
+                violation = survival.violations.first().cloned();
+                survival.ok()
+            }
+            Some(d) => {
+                violation = Some(format!(
+                    "completed with diverging output (faulted {:#x}, clean {:#x})",
+                    d.fingerprint(),
+                    clean.fingerprint()
+                ));
+                false
+            }
+            None => {
+                violation = Some("workload did not complete (reported unsurvivable)".to_string());
+                false
+            }
+        };
+        // An expected-survivable plan must survive in full. An
+        // expected-unsurvivable plan may be reported (incomplete), may
+        // fail *detectably* (survivors observe the loss and exit with
+        // different statuses), or — if timing was lenient — may survive
+        // outright with relaxed structure; what it must never do is
+        // corrupt silently: complete with every exit status matching the
+        // fault-free twin while the file or terminal output differs.
+        // One carve-out: if the divergence is confined to files and the
+        // file server (with its backup) was destroyed, the loss is
+        // *detected* — a post-run reader gets an error, not wrong bytes.
+        let silent_corruption = match &digest {
+            Some(d) if *d != clean && d.exits == clean.exits => {
+                let fs_lost = sys.with_fs(|_, _| ()).is_none();
+                !(fs_lost && d.terminals == clean.terminals)
+            }
+            _ => false,
+        };
+        if (expect_survivable && !survived) || silent_corruption {
+            failures.push(format!(
+                "plan {index} ({kind:?}) {events:?}: {}",
+                violation.clone().unwrap_or_default()
+            ));
+        }
+        let recovery_latency = sys.world.stats.max_recovery_latency().map(|d| d.as_ticks());
+        outcomes.push(PlanOutcome {
+            index,
+            kind,
+            events,
+            expect_survivable,
+            completed,
+            survived,
+            recovery_latency,
+            violation,
+        });
+    }
+    ChaosReport { seed: cfg.seed, outcomes, failures }
+}

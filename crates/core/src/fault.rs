@@ -1,0 +1,283 @@
+//! The fault plan: typed, ordered hardware-fault injection.
+//!
+//! The paper's claim is conditional on a fault model — any *single*
+//! hardware failure is transparent (§3.1), and sequenced multiple
+//! failures are survivable once re-protection completes (§7.10.2). A
+//! [`FaultEvent`] names one injectable hardware failure; a fault plan is
+//! the ordered list of them a [`SystemBuilder`](crate::SystemBuilder)
+//! schedules into a run. Validation rejects *nonsensical* plans (a crash
+//! of a cluster that does not exist, a second crash of a cluster already
+//! down) while keeping *unsurvivable* plans expressible — the chaos
+//! sweep needs to drive the machine past its fault model on purpose.
+
+use std::fmt;
+
+use auros_sim::VTime;
+
+/// One injectable hardware fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultEvent {
+    /// A cluster suffers a total hardware failure (§3.1).
+    ClusterCrash {
+        /// When.
+        at: VTime,
+        /// Which cluster.
+        cluster: u16,
+    },
+    /// The active bus of the dual pair fails; in-flight frames are
+    /// retransmitted on the standby (§7.1).
+    BusFail {
+        /// When.
+        at: VTime,
+    },
+    /// One mirror of a dual-ported disk pair fails; reads and writes
+    /// continue on the survivor (§7.9). Disk 0 is the file-system pair;
+    /// disk `1 + k` is raw disk `k`.
+    DiskHalfFail {
+        /// When.
+        at: VTime,
+        /// Which disk pair.
+        disk: u16,
+    },
+    /// A crashed cluster returns to service, empty (§7.3).
+    Restore {
+        /// When.
+        at: VTime,
+        /// Which cluster.
+        cluster: u16,
+    },
+    /// A §10 partial failure: the hardware hosting one spawned process
+    /// fails in a way that kills only that process; its cluster stays
+    /// up and only its backup is promoted.
+    ProcessFail {
+        /// When.
+        at: VTime,
+        /// Index of the victim among the builder's spawns.
+        spawn: usize,
+    },
+}
+
+impl FaultEvent {
+    /// When the fault strikes.
+    pub fn at(&self) -> VTime {
+        match self {
+            FaultEvent::ClusterCrash { at, .. }
+            | FaultEvent::BusFail { at }
+            | FaultEvent::DiskHalfFail { at, .. }
+            | FaultEvent::Restore { at, .. }
+            | FaultEvent::ProcessFail { at, .. } => *at,
+        }
+    }
+}
+
+/// Why a fault plan was rejected by
+/// [`SystemBuilder::try_build`](crate::SystemBuilder::try_build).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultPlanError {
+    /// A fault names a cluster the machine does not have.
+    ClusterOutOfRange {
+        /// The offending cluster id.
+        cluster: u16,
+        /// How many clusters the machine has.
+        clusters: u16,
+    },
+    /// A crash of a cluster that is already down at that point of the
+    /// plan (no intervening restore).
+    DuplicateCrash {
+        /// The cluster crashed twice.
+        cluster: u16,
+        /// When the second crash was scheduled.
+        at: VTime,
+    },
+    /// A restore of a cluster that is not down at that point of the plan.
+    RestoreOfLiveCluster {
+        /// The cluster.
+        cluster: u16,
+        /// When the restore was scheduled.
+        at: VTime,
+    },
+    /// A fault scheduled at `VTime(0)`: the machine has not begun to
+    /// exist, so the fault would race construction.
+    AtTimeZero,
+    /// A disk fault names a disk pair the machine does not have.
+    DiskOutOfRange {
+        /// The offending disk index.
+        disk: u16,
+        /// How many disk pairs exist (1 + raw disks).
+        disks: u16,
+    },
+    /// A partial failure names a spawn index the workload does not have.
+    SpawnOutOfRange {
+        /// The offending spawn index.
+        spawn: usize,
+        /// How many processes the workload spawns.
+        spawns: usize,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::ClusterOutOfRange { cluster, clusters } => {
+                write!(f, "fault names cluster {cluster} but the machine has {clusters} clusters")
+            }
+            FaultPlanError::DuplicateCrash { cluster, at } => {
+                write!(f, "crash of cluster {cluster} at {at}: it is already down")
+            }
+            FaultPlanError::RestoreOfLiveCluster { cluster, at } => {
+                write!(f, "restore of cluster {cluster} at {at}: it is not down")
+            }
+            FaultPlanError::AtTimeZero => {
+                write!(f, "fault scheduled at t=0, before the machine exists")
+            }
+            FaultPlanError::DiskOutOfRange { disk, disks } => {
+                write!(f, "fault names disk {disk} but the machine has {disks} disk pairs")
+            }
+            FaultPlanError::SpawnOutOfRange { spawn, spawns } => {
+                write!(f, "fault names spawn {spawn} but the workload spawns {spawns} processes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Validates a fault plan against a machine shape.
+///
+/// `clusters` is the machine's cluster count; `disks` is the number of
+/// addressable disk pairs (1 for the file system plus one per raw disk).
+/// Events are considered in time order (ties in insertion order, the
+/// same order the simulator fires them).
+pub(crate) fn validate(
+    events: &[FaultEvent],
+    clusters: u16,
+    disks: u16,
+    spawns: usize,
+) -> Result<(), FaultPlanError> {
+    let mut ordered: Vec<&FaultEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.at());
+    let mut down = vec![false; clusters as usize];
+    for ev in ordered {
+        if ev.at() == VTime(0) {
+            return Err(FaultPlanError::AtTimeZero);
+        }
+        match *ev {
+            FaultEvent::ClusterCrash { at, cluster } => {
+                if cluster >= clusters {
+                    return Err(FaultPlanError::ClusterOutOfRange { cluster, clusters });
+                }
+                if down[cluster as usize] {
+                    return Err(FaultPlanError::DuplicateCrash { cluster, at });
+                }
+                down[cluster as usize] = true;
+            }
+            FaultEvent::Restore { at, cluster } => {
+                if cluster >= clusters {
+                    return Err(FaultPlanError::ClusterOutOfRange { cluster, clusters });
+                }
+                if !down[cluster as usize] {
+                    return Err(FaultPlanError::RestoreOfLiveCluster { cluster, at });
+                }
+                down[cluster as usize] = false;
+            }
+            FaultEvent::DiskHalfFail { disk, .. } => {
+                if disk >= disks {
+                    return Err(FaultPlanError::DiskOutOfRange { disk, disks });
+                }
+            }
+            FaultEvent::ProcessFail { spawn, .. } => {
+                if spawn >= spawns {
+                    return Err(FaultPlanError::SpawnOutOfRange { spawn, spawns });
+                }
+            }
+            FaultEvent::BusFail { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderly_plan_passes() {
+        let plan = [
+            FaultEvent::ClusterCrash { at: VTime(10), cluster: 0 },
+            FaultEvent::Restore { at: VTime(50), cluster: 0 },
+            FaultEvent::ClusterCrash { at: VTime(90), cluster: 0 },
+            FaultEvent::BusFail { at: VTime(20) },
+            FaultEvent::DiskHalfFail { at: VTime(30), disk: 1 },
+        ];
+        assert_eq!(validate(&plan, 3, 2, 0), Ok(()));
+    }
+
+    #[test]
+    fn liveness_is_tracked_in_time_order_not_list_order() {
+        // Listed out of order; time order makes it legal.
+        let plan = [
+            FaultEvent::ClusterCrash { at: VTime(90), cluster: 1 },
+            FaultEvent::ClusterCrash { at: VTime(10), cluster: 1 },
+            FaultEvent::Restore { at: VTime(50), cluster: 1 },
+        ];
+        assert_eq!(validate(&plan, 3, 1, 0), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_crash_is_rejected() {
+        let plan = [
+            FaultEvent::ClusterCrash { at: VTime(10), cluster: 2 },
+            FaultEvent::ClusterCrash { at: VTime(20), cluster: 2 },
+        ];
+        assert_eq!(
+            validate(&plan, 3, 1, 0),
+            Err(FaultPlanError::DuplicateCrash { cluster: 2, at: VTime(20) })
+        );
+    }
+
+    #[test]
+    fn out_of_range_cluster_and_disk_are_rejected() {
+        assert_eq!(
+            validate(&[FaultEvent::ClusterCrash { at: VTime(10), cluster: 3 }], 3, 1, 0),
+            Err(FaultPlanError::ClusterOutOfRange { cluster: 3, clusters: 3 })
+        );
+        assert_eq!(
+            validate(&[FaultEvent::DiskHalfFail { at: VTime(10), disk: 1 }], 3, 1, 0),
+            Err(FaultPlanError::DiskOutOfRange { disk: 1, disks: 1 })
+        );
+    }
+
+    #[test]
+    fn time_zero_fault_is_rejected() {
+        assert_eq!(
+            validate(&[FaultEvent::BusFail { at: VTime(0) }], 3, 1, 0),
+            Err(FaultPlanError::AtTimeZero)
+        );
+    }
+
+    #[test]
+    fn double_bus_failure_remains_expressible() {
+        // Unsurvivable, but not nonsensical: the chaos sweep injects it
+        // on purpose and expects the run to be reported unsurvivable.
+        let plan = [FaultEvent::BusFail { at: VTime(10) }, FaultEvent::BusFail { at: VTime(20) }];
+        assert_eq!(validate(&plan, 3, 1, 0), Ok(()));
+    }
+
+    #[test]
+    fn partial_failure_spawn_index_is_range_checked() {
+        let plan = [FaultEvent::ProcessFail { at: VTime(10), spawn: 2 }];
+        assert_eq!(
+            validate(&plan, 3, 1, 2),
+            Err(FaultPlanError::SpawnOutOfRange { spawn: 2, spawns: 2 })
+        );
+        assert_eq!(validate(&plan, 3, 1, 3), Ok(()));
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = FaultPlanError::DuplicateCrash { cluster: 2, at: VTime(20) };
+        assert!(e.to_string().contains("cluster 2"));
+        let e = FaultPlanError::ClusterOutOfRange { cluster: 9, clusters: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+    }
+}

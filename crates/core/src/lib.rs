@@ -38,12 +38,15 @@
 //! ```
 
 pub mod builder;
+pub mod chaos;
+pub mod fault;
 pub mod oracle;
-pub mod report;
 pub mod programs;
+pub mod report;
 pub mod topology;
 
 pub use builder::{System, SystemBuilder};
+pub use fault::{FaultEvent, FaultPlanError};
 pub use oracle::RunDigest;
 
 // Re-export the layers for downstream crates and examples.

@@ -1,4 +1,4 @@
-//! The determinism oracle.
+//! The determinism and survivability oracles.
 //!
 //! §3.3's transparency promise, made testable: a run with a single
 //! injected hardware failure must be *externally indistinguishable* from
@@ -6,11 +6,21 @@
 //! terminal output. [`RunDigest`] captures exactly the externally
 //! visible record; the property tests compare digests across fault
 //! plans.
+//!
+//! External indistinguishability alone can hide internal rot: a run can
+//! produce the right bytes while leaving orphaned backups or undrained
+//! suppression budgets behind, time bombs for the *next* fault.
+//! [`check_survival`] inspects the survivors' kernel structures directly
+//! — routing and directory consistency, backup reachability, suppression
+//! drainage, and promoted processes actually reaching live state.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use auros_bus::Pid;
+use auros_kernel::{BlockState, ProcessState};
+
+use crate::System;
 
 /// The externally visible record of one run.
 #[derive(Clone, PartialEq, Eq)]
@@ -30,9 +40,7 @@ impl RunDigest {
     pub fn exit_differences(&self, other: &RunDigest) -> Vec<Pid> {
         let keys: std::collections::BTreeSet<Pid> =
             self.exits.keys().chain(other.exits.keys()).copied().collect();
-        keys.into_iter()
-            .filter(|p| self.exits.get(p) != other.exits.get(p))
-            .collect()
+        keys.into_iter().filter(|p| self.exits.get(p) != other.exits.get(p)).collect()
     }
 
     /// A stable short fingerprint for logging.
@@ -57,6 +65,136 @@ impl RunDigest {
         }
         h
     }
+}
+
+/// The survivability verdict on a finished run: structural invariants
+/// of the surviving clusters, checked after the workload completed and
+/// in-flight activity settled.
+#[derive(Clone, Debug, Default)]
+pub struct SurvivalReport {
+    /// Human-readable invariant violations; empty means the survivors
+    /// are structurally sound.
+    pub violations: Vec<String>,
+}
+
+impl SurvivalReport {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks the survivors' kernel structures after a run.
+///
+/// Invariants, in order:
+/// 1. **Routing consistency** — every live cluster's usable primary
+///    entry points its peer-primary and peer-backup hints at *live*
+///    clusters (crash handling repaired them, §7.10.1 step 1).
+/// 2. **Directory consistency** — all live clusters agree on the global
+///    server directory and every named location is a live cluster.
+/// 3. **No orphan backups** — every stored backup's primary cluster is
+///    alive; a backup whose primary died should have been promoted.
+/// 4. **Suppression drained** — no routing entry still owes suppressed
+///    sends once the workload finished: a promoted process replays past
+///    its last duplicate (§5.4).
+/// 5. **Promoted backups reach live state** — no process is still gated
+///    on backup re-creation (`AwaitBackup`, §7.3).
+pub fn check_survival(sys: &System) -> SurvivalReport {
+    let mut violations = Vec::new();
+    let live: Vec<u16> = sys.world.clusters.iter().filter(|c| c.alive).map(|c| c.id.0).collect();
+    let is_live = |c: auros_bus::ClusterId| live.contains(&c.0);
+
+    for c in sys.world.clusters.iter().filter(|c| c.alive) {
+        // 1: routing hints point at live clusters.
+        for (end, e) in &c.routing.primary {
+            if !e.usable || e.peer_closed {
+                continue;
+            }
+            if let Some(pp) = e.peer_primary {
+                if !is_live(pp) {
+                    violations.push(format!(
+                        "c{}: entry {end:?} routes its peer to dead cluster {pp}",
+                        c.id.0
+                    ));
+                }
+            }
+            if let Some(pb) = e.peer_backup {
+                if !is_live(pb) {
+                    violations.push(format!(
+                        "c{}: entry {end:?} keeps a peer-backup hint at dead cluster {pb}",
+                        c.id.0
+                    ));
+                }
+            }
+            // 4: suppression budgets drained.
+            if e.suppress_writes > 0 {
+                violations.push(format!(
+                    "c{}: entry {end:?} still owes {} suppressed sends",
+                    c.id.0, e.suppress_writes
+                ));
+            }
+        }
+        // 2: directory locations are live.
+        for (name, slot) in [
+            ("pager", &c.directory.pager),
+            ("fs", &c.directory.fs),
+            ("procserver", &c.directory.procserver),
+        ] {
+            match slot {
+                Some((_, primary, backup)) => {
+                    if !is_live(*primary) {
+                        violations.push(format!(
+                            "c{}: directory places the {name} in dead cluster {primary}",
+                            c.id.0
+                        ));
+                    }
+                    if let Some(b) = backup {
+                        if !is_live(*b) {
+                            violations.push(format!(
+                                "c{}: directory places the {name}'s backup in dead cluster {b}",
+                                c.id.0
+                            ));
+                        }
+                    }
+                }
+                None => violations.push(format!("c{}: directory lost the {name}", c.id.0)),
+            }
+        }
+        // 3: no orphan backups.
+        for (pid, record) in &c.backups {
+            if !is_live(record.primary_cluster) {
+                violations.push(format!(
+                    "c{}: backup of {pid} is orphaned — its primary cluster {} is dead",
+                    c.id.0, record.primary_cluster
+                ));
+            }
+        }
+        // 5: promoted backups reached live state.
+        for (pid, pcb) in &c.procs {
+            if pcb.state == ProcessState::Blocked(BlockState::AwaitBackup) {
+                violations.push(format!("c{}: {pid} is still gated on backup re-creation", c.id.0));
+            }
+        }
+    }
+
+    // 2 (cross-cluster half): all survivors agree on the directory.
+    let dirs: Vec<(u16, String)> = sys
+        .world
+        .clusters
+        .iter()
+        .filter(|c| c.alive)
+        .map(|c| (c.id.0, format!("{:?}", c.directory)))
+        .collect();
+    if let Some((first_id, first)) = dirs.first() {
+        for (id, d) in &dirs[1..] {
+            if d != first {
+                violations
+                    .push(format!("directories disagree: c{first_id} has {first}, c{id} has {d}"));
+            }
+        }
+    }
+
+    SurvivalReport { violations }
 }
 
 impl fmt::Debug for RunDigest {

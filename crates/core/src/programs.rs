@@ -238,7 +238,7 @@ pub fn bank_server(name: &str, n_req: u64) -> Program {
     b.li(R7, BUF);
     b.load(R6, R7, 0); // account
     b.load(R8, R7, 8); // amount
-    // slot = TABLE + account * PAGE
+                       // slot = TABLE + account * PAGE
     b.li(R9, PAGE);
     b.mul(R9, R6, R9);
     b.li(R11, TABLE);
@@ -353,7 +353,7 @@ pub fn file_reader(path: &str) -> Program {
     b.trap(Sys::Read);
     let done = b.new_label();
     b.jz(R0, done); // EOF
-    // Sum the words read (R0 is a byte count, multiple of 8 here).
+                    // Sum the words read (R0 is a byte count, multiple of 8 here).
     b.mov(R5, R0);
     b.li(R6, 0);
     let sum = b.here();
@@ -546,7 +546,6 @@ pub fn rand_streamer(name: &str, count: u64) -> Program {
     b.build()
 }
 
-
 /// Forks one child that immediately blocks opening `name` (a rendezvous
 /// with no second opener yet), reads one value, and exits with it; the
 /// parent then computes enough to trip the fuel sync trigger — forcing
@@ -592,7 +591,6 @@ pub fn delayed_producer(name: &str, delay: u32) -> Program {
     b.trap(Sys::Exit);
     b.build()
 }
-
 
 /// A multi-client bank: opens one rendezvous channel per client
 /// (`name0`, `name1`, …), groups them with `bunch`, and serves `n_req`
@@ -644,7 +642,6 @@ pub fn bank_server_multi(name: &str, clients: u64, n_req: u64) -> Program {
     b.build()
 }
 
-
 /// Like [`bank_client`], but over the account range
 /// `[offset, offset + accounts)`. Give concurrent clients disjoint
 /// ranges and the bank's checksum becomes independent of the *order* in
@@ -688,7 +685,6 @@ pub fn bank_client_at(name: &str, n_tx: u64, accounts: u64, offset: u64, seed: u
     b.trap(Sys::Exit);
     b.build()
 }
-
 
 /// Writes a file, removes it with `unlink`, then exits with the unlink
 /// status (0 = removed).
@@ -740,7 +736,6 @@ pub fn dir_lister(prefix: &str) -> Program {
     b.trap(Sys::Exit);
     b.build()
 }
-
 
 /// A two-generation family: forks one child, which forks one grandchild;
 /// each generation computes and exits with a distinct status (parent 1,

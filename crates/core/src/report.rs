@@ -50,6 +50,38 @@ pub fn render(sys: &System) -> String {
         s.total_suppressed(),
         s.exits
     );
+    for r in &s.recoveries {
+        match r.latency() {
+            Some(l) => {
+                let _ = writeln!(
+                    out,
+                    "  recovery: {} crashed at {}; {} backups promoted, last at {} (latency {} ticks)",
+                    r.dead,
+                    r.crashed_at,
+                    r.promotions,
+                    r.last_promotion.expect("latency implies promotion"),
+                    l.as_ticks()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  recovery: {} crashed at {}; no backups promoted",
+                    r.dead, r.crashed_at
+                );
+            }
+        }
+    }
+    if s.bus_failovers > 0 {
+        let _ = writeln!(
+            out,
+            "  bus: {} failover(s), {} in-flight frames retransmitted on the standby",
+            s.bus_failovers, s.frames_retransmitted
+        );
+    }
+    if s.disk_half_faults > 0 {
+        let _ = writeln!(out, "  disk: {} mirror half(s) failed", s.disk_half_faults);
+    }
     out
 }
 

@@ -13,9 +13,7 @@ pub fn render(sys: &System) -> String {
     let mut out = String::new();
     let n = sys.world.cfg.clusters;
     let w = sys.world.cfg.work_processors;
-    out.push_str(&format!(
-        "Auragen 4000 — {n} processor clusters on a dual intercluster bus\n\n"
-    ));
+    out.push_str(&format!("Auragen 4000 — {n} processor clusters on a dual intercluster bus\n\n"));
     out.push_str("  ═════════════════ intercluster bus A ═════════════════\n");
     out.push_str("  ───────────────── intercluster bus B ─────────────────\n");
     for c in &sys.world.clusters {
@@ -23,16 +21,9 @@ pub fn render(sys: &System) -> String {
         let procs = c.procs.values().filter(|p| !p.is_dead()).count();
         let backups = c.backups.len();
         out.push_str("        │\n  ┌─────┴──────────────────────────────┐\n");
-        out.push_str(&format!(
-            "  │ cluster {:<2} [{status}]                   │\n",
-            c.id.0
-        ));
-        out.push_str(&format!(
-            "  │   executive processor + {w} work processors │\n"
-        ));
-        out.push_str(&format!(
-            "  │   {procs:>3} primaries, {backups:>3} inactive backups │\n",
-        ));
+        out.push_str(&format!("  │ cluster {:<2} [{status}]                   │\n", c.id.0));
+        out.push_str(&format!("  │   executive processor + {w} work processors │\n"));
+        out.push_str(&format!("  │   {procs:>3} primaries, {backups:>3} inactive backups │\n",));
         let mut peripherals = Vec::new();
         if sys.world.server_devices.values().any(|_| true) {
             for (pid, dev) in &sys.world.server_devices {
@@ -42,18 +33,12 @@ pub fn render(sys: &System) -> String {
             }
         }
         if !peripherals.is_empty() {
-            out.push_str(&format!(
-                "  │   interface modules: {:<16} │\n",
-                peripherals.join(", ")
-            ));
+            out.push_str(&format!("  │   interface modules: {:<16} │\n", peripherals.join(", ")));
         }
         out.push_str("  └────────────────────────────────────┘\n");
     }
     out.push_str("\n  dual-ported peripherals: ");
-    out.push_str(&format!(
-        "{} device(s) shared across cluster pairs\n",
-        sys.world.devices.len()
-    ));
+    out.push_str(&format!("{} device(s) shared across cluster pairs\n", sys.world.devices.len()));
     out
 }
 

@@ -148,6 +148,12 @@ impl Device for DiskPair {
         self.reverts += 1;
         self.working.clear();
     }
+
+    /// Injected fault: one mirror dies; the pair keeps serving from the
+    /// survivor (§7.9).
+    fn fail_half(&mut self, second: bool) {
+        self.fail_mirror(second);
+    }
 }
 
 #[cfg(test)]

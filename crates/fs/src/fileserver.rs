@@ -228,7 +228,13 @@ impl FileServer {
         (a_init, b_init)
     }
 
-    fn handle_open(&mut self, req_end: ChanEnd, opener: Opener, name: &str, ctx: &mut ServerCtx<'_>) {
+    fn handle_open(
+        &mut self,
+        req_end: ChanEnd,
+        opener: Opener,
+        name: &str,
+        ctx: &mut ServerCtx<'_>,
+    ) {
         let self_pid = ctx.self_pid;
         if name.starts_with('/') && name.ends_with('/') {
             // A directory: the channel reads back a newline-separated
@@ -495,15 +501,13 @@ impl ServerLogic for FileServer {
             }
             Payload::Fs(FsRequest::FileRead { len }) => self.handle_read(end, *len, ctx),
             Payload::Fs(FsRequest::FileWrite { data }) => self.handle_write(end, data, ctx),
-            Payload::Fs(FsRequest::FileSeek { pos }) => {
-                match self.channels.get_mut(&end) {
-                    Some(c) => {
-                        c.pos = *pos;
-                        ctx.send(end, Payload::FsReply(FsReply::Ack(*pos)));
-                    }
-                    None => ctx.send(end, Payload::FsReply(FsReply::Err(FsError::NotFound))),
+            Payload::Fs(FsRequest::FileSeek { pos }) => match self.channels.get_mut(&end) {
+                Some(c) => {
+                    c.pos = *pos;
+                    ctx.send(end, Payload::FsReply(FsReply::Ack(*pos)));
                 }
-            }
+                None => ctx.send(end, Payload::FsReply(FsReply::Err(FsError::NotFound))),
+            },
             Payload::Fs(FsRequest::CloseFile) => {
                 self.channels.remove(&end);
                 ctx.send(end, Payload::FsReply(FsReply::Ack(0)));
@@ -578,7 +582,8 @@ mod tests {
         end: ChanEnd,
         payload: Payload,
     ) -> Vec<(ChanEnd, Payload)> {
-        let mut ctx = ServerCtx::new(VTime(1), Pid(99), Some(disk)).at(ClusterId(0), Some(ClusterId(1)));
+        let mut ctx =
+            ServerCtx::new(VTime(1), Pid(99), Some(disk)).at(ClusterId(0), Some(ClusterId(1)));
         fs.on_message(Pid(1), end, &payload, &mut ctx);
         if ctx.sync_after {
             fs.explicit_syncs += 0; // cadence already counted inside
@@ -612,8 +617,12 @@ mod tests {
         let mut fs = FileServer::new();
         let mut disk = DiskPair::new();
         let b_end = opened_end(&drive(&mut fs, &mut disk, port(7), open_req(7, 3, "/f")));
-        let r = drive(&mut fs, &mut disk, b_end,
-            Payload::Fs(FsRequest::FileWrite { data: b"hello world".to_vec() }));
+        let r = drive(
+            &mut fs,
+            &mut disk,
+            b_end,
+            Payload::Fs(FsRequest::FileWrite { data: b"hello world".to_vec() }),
+        );
         assert!(matches!(r[0].1, Payload::FsReply(FsReply::Ack(11))));
         drive(&mut fs, &mut disk, b_end, Payload::Fs(FsRequest::FileSeek { pos: 6 }));
         let r = drive(&mut fs, &mut disk, b_end, Payload::Fs(FsRequest::FileRead { len: 64 }));
@@ -648,17 +657,22 @@ mod tests {
         let mut fs = FileServer::new();
         let mut disk = DiskPair::new();
         let notify = ChanEnd { channel: ChannelId(555), side: Side::A };
-        fs.add_tty_route("tty:0", DeviceRoute {
-            pid: Pid(40),
-            cluster: ClusterId(1),
-            backup: Some(ClusterId(2)),
-            notify_end: Some(notify),
-            line: 0,
-        });
+        fs.add_tty_route(
+            "tty:0",
+            DeviceRoute {
+                pid: Pid(40),
+                cluster: ClusterId(1),
+                backup: Some(ClusterId(2)),
+                notify_end: Some(notify),
+                line: 0,
+            },
+        );
         let replies = drive(&mut fs, &mut disk, port(7), open_req(7, 4, "tty:0"));
         assert_eq!(replies.len(), 2);
         assert_eq!(replies[0].0, notify, "bind goes out first");
-        assert!(matches!(replies[0].1, Payload::Tty(TtyMsg::Bind { reader, .. }) if reader == Pid(7)));
+        assert!(
+            matches!(replies[0].1, Payload::Tty(TtyMsg::Bind { reader, .. }) if reader == Pid(7))
+        );
         assert!(matches!(replies[1].1, Payload::FsReply(FsReply::OpenReply { .. })));
     }
 
@@ -677,12 +691,20 @@ mod tests {
         let mut fs = FileServer::new();
         let mut disk = DiskPair::new();
         drive(&mut fs, &mut disk, port(7), open_req(7, 3, "/x"));
-        let r = drive(&mut fs, &mut disk, port(7),
-            Payload::Fs(FsRequest::Unlink { name: ChannelName::new("/x") }));
+        let r = drive(
+            &mut fs,
+            &mut disk,
+            port(7),
+            Payload::Fs(FsRequest::Unlink { name: ChannelName::new("/x") }),
+        );
         assert!(matches!(r[0].1, Payload::FsReply(FsReply::Ack(0))));
         assert!(fs.list_files().is_empty());
-        let r = drive(&mut fs, &mut disk, port(7),
-            Payload::Fs(FsRequest::Unlink { name: ChannelName::new("/x") }));
+        let r = drive(
+            &mut fs,
+            &mut disk,
+            port(7),
+            Payload::Fs(FsRequest::Unlink { name: ChannelName::new("/x") }),
+        );
         assert!(matches!(r[0].1, Payload::FsReply(FsReply::Err(FsError::NotFound))));
     }
 
@@ -709,12 +731,20 @@ mod tests {
         let mut disk = DiskPair::new();
         let b_end = opened_end(&drive(&mut fs, &mut disk, port(7), open_req(7, 3, "/w")));
         let mut ctx = ServerCtx::new(VTime(1), Pid(99), Some(&mut disk)).at(ClusterId(0), None);
-        fs.on_message(Pid(7), b_end,
-            &Payload::Fs(FsRequest::FileWrite { data: vec![1; 100] }), &mut ctx);
+        fs.on_message(
+            Pid(7),
+            b_end,
+            &Payload::Fs(FsRequest::FileWrite { data: vec![1; 100] }),
+            &mut ctx,
+        );
         assert!(!ctx.sync_after);
         let mut ctx2 = ServerCtx::new(VTime(2), Pid(99), Some(&mut disk)).at(ClusterId(0), None);
-        fs.on_message(Pid(7), b_end,
-            &Payload::Fs(FsRequest::FileWrite { data: vec![2; 100] }), &mut ctx2);
+        fs.on_message(
+            Pid(7),
+            b_end,
+            &Payload::Fs(FsRequest::FileWrite { data: vec![2; 100] }),
+            &mut ctx2,
+        );
         assert!(ctx2.sync_after, "second write trips the flush cadence");
         assert!(disk.dirty_blocks() > 0, "cache reached the disk");
         assert_eq!(fs.explicit_syncs, 1);
@@ -726,8 +756,12 @@ mod tests {
         let mut disk = DiskPair::new();
         drive(&mut fs, &mut disk, port(7), open_req(7, 3, "/keep"));
         let image = fs.clone_image();
-        drive(&mut fs, &mut disk, port(7),
-            Payload::Fs(FsRequest::Unlink { name: ChannelName::new("/keep") }));
+        drive(
+            &mut fs,
+            &mut disk,
+            port(7),
+            Payload::Fs(FsRequest::Unlink { name: ChannelName::new("/keep") }),
+        );
         let restored = image.as_any().downcast_ref::<FileServer>().unwrap();
         assert_eq!(restored.list_files(), vec!["/keep".to_string()]);
     }

@@ -158,7 +158,8 @@ mod tests {
     fn write_then_seek_then_read_round_trips() {
         let mut s = RawServer::new();
         let mut d = DiskPair::new();
-        let r = drive(&mut s, &mut d, Payload::Fs(FsRequest::FileWrite { data: b"hello".to_vec() }));
+        let r =
+            drive(&mut s, &mut d, Payload::Fs(FsRequest::FileWrite { data: b"hello".to_vec() }));
         assert!(matches!(r[0], Payload::FsReply(FsReply::Ack(5))));
         drive(&mut s, &mut d, Payload::Fs(FsRequest::FileSeek { pos: 0 }));
         let r = drive(&mut s, &mut d, Payload::Fs(FsRequest::FileRead { len: 5 }));
@@ -189,12 +190,7 @@ mod tests {
         s.sync_every = 2;
         let mut d = DiskPair::new();
         let mut ctx = ServerCtx::new(VTime(0), Pid(50), Some(&mut d));
-        s.on_message(
-            Pid(1),
-            end(),
-            &Payload::Fs(FsRequest::FileWrite { data: vec![1] }),
-            &mut ctx,
-        );
+        s.on_message(Pid(1), end(), &Payload::Fs(FsRequest::FileWrite { data: vec![1] }), &mut ctx);
         assert!(!ctx.sync_after);
         let mut ctx2 = ServerCtx::new(VTime(1), Pid(50), Some(&mut d));
         s.on_message(

@@ -60,11 +60,7 @@ impl Terminal {
 
     /// Lines with unconsumed input.
     pub fn pending_lines(&self) -> Vec<u32> {
-        self.lines
-            .iter()
-            .filter(|(_, l)| l.read_ptr < l.input.len())
-            .map(|(n, _)| *n)
-            .collect()
+        self.lines.iter().filter(|(_, l)| l.read_ptr < l.input.len()).map(|(n, _)| *n).collect()
     }
 
     /// Appends server output on `line` (held until the server's next

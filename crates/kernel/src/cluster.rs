@@ -263,8 +263,7 @@ mod tests {
 
     #[test]
     fn directory_repair_drops_unprotected_server() {
-        let mut d =
-            Directory { pager: Some((Pid(1), ClusterId(0), None)), ..Directory::default() };
+        let mut d = Directory { pager: Some((Pid(1), ClusterId(0), None)), ..Directory::default() };
         d.repair_after_crash(ClusterId(0));
         assert_eq!(d.pager, None);
     }

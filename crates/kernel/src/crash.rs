@@ -29,13 +29,13 @@ impl World {
         }
         self.clusters[ci].alive = false;
         self.clusters[ci].crashed_at = Some(now);
+        self.stats.note_crash(cid, now);
         self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || "cluster crashed".into());
     }
 
     /// Polling discovered `dead`: notify every survivor (§7.10).
     pub(crate) fn announce_crash(&mut self, dead: ClusterId) {
-        let live: Vec<ClusterId> =
-            self.clusters.iter().filter(|c| c.alive).map(|c| c.id).collect();
+        let live: Vec<ClusterId> = self.clusters.iter().filter(|c| c.alive).map(|c| c.id).collect();
         for cid in live {
             self.begin_crash_handling(cid, dead);
         }
@@ -253,14 +253,14 @@ impl World {
             return;
         };
         let is_server = matches!(body, ProcessBody::Server(_));
-        let mut pcb = Pcb::new(pid, body, record.mode, bootstrap_end(pid, crate::world::ports::SIGNAL));
+        let mut pcb =
+            Pcb::new(pid, body, record.mode, bootstrap_end(pid, crate::world::ports::SIGNAL));
         pcb.parent = record.parent;
         pcb.sync_seq = record.sync_seq;
         pcb.fork_count = record.kstate.fork_count;
         pcb.next_fd = record.kstate.next_fd;
         pcb.fds = record.kstate.fds.iter().copied().collect();
-        pcb.bunches =
-            record.kstate.bunches.iter().map(|(g, v)| (*g, v.clone())).collect();
+        pcb.bunches = record.kstate.bunches.iter().map(|(g, v)| (*g, v.clone())).collect();
         pcb.handlers = record.kstate.handlers.iter().copied().collect();
         pcb.backup = BackupStatus::None;
         pcb.recovering = true;
@@ -294,6 +294,7 @@ impl World {
             }
         }
         self.stats.clusters[ci].promotions += 1;
+        self.stats.note_promotion(dead, now);
 
         if is_server {
             // §7.10.1 step 5: peripheral-server backups are signaled to
@@ -369,19 +370,12 @@ impl World {
         // containing the process's backup is notified and makes the
         // backup runnable. This includes notification of all of the
         // process's correspondents" (§6).
-        let targets: Vec<(ClusterId, DeliveryTag)> = self
-            .clusters
-            .iter()
-            .filter(|c| c.alive)
-            .map(|c| (c.id, DeliveryTag::Kernel))
-            .collect();
+        let targets: Vec<(ClusterId, DeliveryTag)> =
+            self.clusters.iter().filter(|c| c.alive).map(|c| (c.id, DeliveryTag::Kernel)).collect();
         self.send_control(
             cid,
             targets,
-            auros_bus::Payload::Control(auros_bus::proto::Control::ProcessFailed {
-                pid,
-                at: cid,
-            }),
+            auros_bus::Payload::Control(auros_bus::proto::Control::ProcessFailed { pid, at: cid }),
         );
     }
 
@@ -421,9 +415,8 @@ impl World {
         // The rebooted kernel re-establishes its ports to the global
         // servers (the dead incarnation's entries were closed).
         self.wire_kernel_ports_for(cid, true);
-        self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-            "cluster restored to service".into()
-        });
+        self.trace
+            .emit(now, TraceCategory::Crash, Some(cid.0), || "cluster restored to service".into());
         // Halfbacks that lost their backup get a new one here (§7.3).
         let candidates: Vec<(ClusterId, Pid)> = self
             .clusters

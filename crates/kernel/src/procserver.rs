@@ -96,8 +96,7 @@ impl ServerLogic for ProcServer {
                 ctx.send(end, Payload::ProcReply(ProcReply::Location { pid: *pid, cluster }));
             }
             ProcRequest::PlaceBackup { pid, exclude } => {
-                let cluster =
-                    self.clusters.iter().copied().find(|c| !exclude.contains(c));
+                let cluster = self.clusters.iter().copied().find(|c| !exclude.contains(c));
                 ctx.send(end, Payload::ProcReply(ProcReply::Place { pid: *pid, cluster }));
             }
         }
@@ -106,11 +105,8 @@ impl ServerLogic for ProcServer {
     fn on_timer(&mut self, token: u64, ctx: &mut ServerCtx<'_>) {
         // Deliver the alarm signal if the alarm is still pending and this
         // is its current token (a newer alarm supersedes an older timer).
-        let fired: Option<Pid> = self
-            .alarms
-            .iter()
-            .find(|(_, (_, t))| *t == token)
-            .map(|(pid, _)| *pid);
+        let fired: Option<Pid> =
+            self.alarms.iter().find(|(_, (_, t))| *t == token).map(|(pid, _)| *pid);
         if let Some(pid) = fired {
             self.alarms.remove(&pid);
             ctx.send(Self::signal_end_of(pid), Payload::Signal(Sig::ALRM));
@@ -248,7 +244,12 @@ mod tests {
         );
         assert_eq!(s.location_of(Pid(5)), Some(ClusterId(2)));
         let mut c2 = ctx(2);
-        s.on_message(Pid(1), port_end(), &Payload::Proc(ProcRequest::WhereIs { pid: Pid(6) }), &mut c2);
+        s.on_message(
+            Pid(1),
+            port_end(),
+            &Payload::Proc(ProcRequest::WhereIs { pid: Pid(6) }),
+            &mut c2,
+        );
         match &c2.sends[0].payload {
             Payload::ProcReply(ProcReply::Location { cluster, .. }) => {
                 assert_eq!(*cluster, Some(ClusterId(2)));

@@ -313,7 +313,12 @@ mod tests {
     fn queued(seq: u64) -> Queued {
         Queued {
             arrival_seq: seq,
-            msg: Message { id: MsgId(seq), src: Pid(2), payload: Payload::Data(vec![]), nondet: vec![] },
+            msg: Message {
+                id: MsgId(seq),
+                src: Pid(2),
+                payload: Payload::Data(vec![]),
+                nondet: vec![],
+            },
         }
     }
 
@@ -415,7 +420,12 @@ mod tests {
                 (ClusterId(2), auros_bus::DeliveryTag::DestBackup(end)),
                 (ClusterId(1), auros_bus::DeliveryTag::SenderBackup(end.peer())),
             ],
-            msg: Message { id: MsgId(0), src: Pid(1), payload: Payload::Data(vec![1]), nondet: vec![] },
+            msg: Message {
+                id: MsgId(0),
+                src: Pid(1),
+                payload: Payload::Data(vec![1]),
+                nondet: vec![],
+            },
         };
         assert!(f.check_invariants().is_ok());
     }

@@ -43,6 +43,10 @@ pub trait Device: std::fmt::Debug + Any {
     /// The controlling server's backup was promoted: revert uncommitted
     /// device state to the last sync point (§7.10.2).
     fn on_owner_promote(&mut self) {}
+    /// One half of the device's redundant hardware fails (§7.9: one
+    /// mirror of a disk pair). The default ignores it; devices without
+    /// redundancy have nothing to lose by halves.
+    fn fail_half(&mut self, _second: bool) {}
 }
 
 /// A message a server asks the kernel to send on one of its channel ends.

@@ -116,12 +116,8 @@ impl World {
         // Peripheral servers are halfbacks: their primary and backup must
         // sit in the two clusters wired to the device (§7.3).
         let mode = BackupMode::Halfback;
-        let mut pcb = Pcb::new(
-            pid,
-            ProcessBody::Server(logic),
-            mode,
-            bootstrap_end(pid, ports::SIGNAL),
-        );
+        let mut pcb =
+            Pcb::new(pid, ProcessBody::Server(logic), mode, bootstrap_end(pid, ports::SIGNAL));
         pcb.backup = match backup {
             Some(b) => BackupStatus::At(b),
             None => BackupStatus::None,
@@ -253,16 +249,21 @@ impl World {
         mode: BackupMode,
     ) {
         let dir = self.clusters[cluster.0 as usize].directory.clone();
-        let specs: [(u8, ServerLoc); 3] = [
-            (ports::SIGNAL, dir.procserver),
-            (ports::FS, dir.fs),
-            (ports::PROC, dir.procserver),
-        ];
+        let specs: [(u8, ServerLoc); 3] =
+            [(ports::SIGNAL, dir.procserver), (ports::FS, dir.fs), (ports::PROC, dir.procserver)];
         for (slot, server) in specs {
             let Some((spid, sprimary, sbackup)) = server else { continue };
             let kind = service_kind_for_slot(slot);
             let (a, b) = bootstrap_channel_inits(
-                pid, cluster, backup, mode, spid, sprimary, sbackup, BackupMode::Halfback, slot,
+                pid,
+                cluster,
+                backup,
+                mode,
+                spid,
+                sprimary,
+                sbackup,
+                BackupMode::Halfback,
+                slot,
                 kind,
             );
             self.create_primary_entry_from_init(cluster, &a);

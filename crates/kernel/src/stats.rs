@@ -6,6 +6,7 @@
 //! the primary only for enqueue time (§8.3). The ledgers here let the
 //! benches measure exactly those splits.
 
+use auros_bus::ClusterId;
 use auros_sim::{Dur, VTime};
 
 /// Per-cluster accounting.
@@ -45,6 +46,29 @@ pub struct ClusterStats {
     pub suppressed_sends: u64,
 }
 
+/// One cluster-crash recovery episode: from the instant the hardware
+/// died to the last backup promoted on the dead cluster's behalf
+/// (§7.10.2). The paper's availability argument rests on this window
+/// being short; the ledger makes it measurable per fault.
+#[derive(Clone, Debug)]
+pub struct RecoveryRecord {
+    /// The cluster that died.
+    pub dead: ClusterId,
+    /// When it died.
+    pub crashed_at: VTime,
+    /// When the last backup was promoted on its behalf, if any were.
+    pub last_promotion: Option<VTime>,
+    /// How many backups were promoted for this crash.
+    pub promotions: u64,
+}
+
+impl RecoveryRecord {
+    /// Crash-to-last-promotion latency, if any promotion happened.
+    pub fn latency(&self) -> Option<Dur> {
+        self.last_promotion.map(|t| t.since(self.crashed_at))
+    }
+}
+
 /// Whole-world accounting.
 #[derive(Clone, Debug, Default)]
 pub struct WorldStats {
@@ -60,6 +84,15 @@ pub struct WorldStats {
     pub exits: u64,
     /// Cluster crashes handled.
     pub crashes: u64,
+    /// Injected bus failures that found a healthy standby.
+    pub bus_failovers: u64,
+    /// Frames whose in-flight transmission was repeated on the standby
+    /// bus after a failover.
+    pub frames_retransmitted: u64,
+    /// Injected single-mirror disk failures.
+    pub disk_half_faults: u64,
+    /// One entry per cluster crash, in injection order.
+    pub recoveries: Vec<RecoveryRecord>,
     /// Virtual time of the last processed event.
     pub now: VTime,
 }
@@ -89,6 +122,32 @@ impl WorldStats {
     pub fn total_suppressed(&self) -> u64 {
         self.clusters.iter().map(|c| c.suppressed_sends).sum()
     }
+
+    /// Opens a recovery episode for a crash of `dead` at `now`.
+    pub fn note_crash(&mut self, dead: ClusterId, now: VTime) {
+        self.recoveries.push(RecoveryRecord {
+            dead,
+            crashed_at: now,
+            last_promotion: None,
+            promotions: 0,
+        });
+    }
+
+    /// Credits one backup promotion to the most recent crash of `dead`.
+    ///
+    /// Promotions with no matching episode (partial failures of a live
+    /// cluster) are ignored — they are not crash recovery.
+    pub fn note_promotion(&mut self, dead: ClusterId, now: VTime) {
+        if let Some(r) = self.recoveries.iter_mut().rev().find(|r| r.dead == dead) {
+            r.last_promotion = Some(now);
+            r.promotions += 1;
+        }
+    }
+
+    /// The worst crash-to-last-promotion latency seen, if any.
+    pub fn max_recovery_latency(&self) -> Option<Dur> {
+        self.recoveries.iter().filter_map(|r| r.latency()).max()
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +165,29 @@ mod tests {
         assert_eq!(s.total_work_busy(), Dur(15));
         assert_eq!(s.total_exec_busy(), Dur(7));
         assert_eq!(s.total_syncs(), 5);
+    }
+
+    #[test]
+    fn recovery_latency_tracks_latest_episode_of_a_cluster() {
+        let mut s = WorldStats::new(3);
+        s.note_crash(ClusterId(0), VTime(100));
+        s.note_promotion(ClusterId(0), VTime(150));
+        s.note_promotion(ClusterId(0), VTime(400));
+        // The same cluster crashes again after a restore: a fresh episode.
+        s.note_crash(ClusterId(0), VTime(1_000));
+        s.note_promotion(ClusterId(0), VTime(1_050));
+        assert_eq!(s.recoveries.len(), 2);
+        assert_eq!(s.recoveries[0].latency(), Some(Dur(300)));
+        assert_eq!(s.recoveries[0].promotions, 2);
+        assert_eq!(s.recoveries[1].latency(), Some(Dur(50)));
+        assert_eq!(s.max_recovery_latency(), Some(Dur(300)));
+    }
+
+    #[test]
+    fn promotion_without_episode_is_ignored() {
+        let mut s = WorldStats::new(2);
+        s.note_promotion(ClusterId(1), VTime(5));
+        assert!(s.recoveries.is_empty());
+        assert_eq!(s.max_recovery_latency(), None);
     }
 }

@@ -11,8 +11,8 @@
 //! be counted at the backup before the sync is processed (§7.8).
 
 use auros_bus::proto::{
-    BackupMode, ChanEnd, ChannelInit, Control, KernelState, PagerRequest, Payload,
-    ProcessImage, RebuildInfo, SyncRecord,
+    BackupMode, ChanEnd, ChannelInit, Control, KernelState, PagerRequest, Payload, ProcessImage,
+    RebuildInfo, SyncRecord,
 };
 use auros_bus::{ClusterId, DeliveryTag, Message, Pid};
 use auros_sim::TraceCategory;
@@ -132,9 +132,12 @@ impl World {
         pcb.pending_nondet.clear();
     }
 
-    fn build_sync_record(&mut self, cid: ClusterId, pid: Pid, backup_cluster: ClusterId)
-        -> SyncRecord
-    {
+    fn build_sync_record(
+        &mut self,
+        cid: ClusterId,
+        pid: Pid,
+        backup_cluster: ClusterId,
+    ) -> SyncRecord {
         let ci = cid.0 as usize;
         // Collect per-end read counts and residual suppression, resetting
         // the former (§5.2).
@@ -194,15 +197,16 @@ impl World {
 
     /// Builds the full channel table (and, after promotions, the saved
     /// queues) for creating a backup from scratch.
-    fn build_rebuild_info(&self, cid: ClusterId, pid: Pid, backup_cluster: ClusterId)
-        -> RebuildInfo
-    {
+    fn build_rebuild_info(
+        &self,
+        cid: ClusterId,
+        pid: Pid,
+        backup_cluster: ClusterId,
+    ) -> RebuildInfo {
         let ci = cid.0 as usize;
         let pcb = &self.clusters[ci].procs[&pid];
         let program = pcb.machine().map(|m| m.program().clone());
-        let fd_of = |end: ChanEnd| {
-            pcb.fds.iter().find(|(_, e)| **e == end).map(|(fd, _)| *fd)
-        };
+        let fd_of = |end: ChanEnd| pcb.fds.iter().find(|(_, e)| **e == end).map(|(fd, _)| *fd);
         let mut channels = Vec::new();
         let mut queues = Vec::new();
         let mut write_counts = Vec::new();
@@ -358,12 +362,8 @@ impl World {
         // suppression debt carried through a mid-rollforward sync.
         let ends = self.clusters[ci].routing.backup_ends_of(pid);
         for end in ends {
-            let residual = rec
-                .residual_suppress
-                .iter()
-                .find(|(e, _)| *e == end)
-                .map(|(_, n)| *n)
-                .unwrap_or(0);
+            let residual =
+                rec.residual_suppress.iter().find(|(e, _)| *e == end).map(|(_, n)| *n).unwrap_or(0);
             if let Some(be) = self.clusters[ci].routing.backup.get_mut(&end) {
                 be.writes_since_sync = residual;
             }
@@ -399,12 +399,8 @@ impl World {
     }
 
     pub(crate) fn broadcast_backup_created(&mut self, cid: ClusterId, pid: Pid) {
-        let targets: Vec<(ClusterId, DeliveryTag)> = self
-            .clusters
-            .iter()
-            .filter(|c| c.alive)
-            .map(|c| (c.id, DeliveryTag::Kernel))
-            .collect();
+        let targets: Vec<(ClusterId, DeliveryTag)> =
+            self.clusters.iter().filter(|c| c.alive).map(|c| (c.id, DeliveryTag::Kernel)).collect();
         self.send_control(
             cid,
             targets,
@@ -431,8 +427,10 @@ impl World {
         );
         let now = self.now();
         self.trace.emit(now, TraceCategory::Process, Some(cid.0), || {
-            format!("birth notice: {} fork #{} -> {}", notice.parent, notice.fork_index,
-                notice.child)
+            format!(
+                "birth notice: {} fork #{} -> {}",
+                notice.parent, notice.fork_index, notice.child
+            )
         });
     }
 
@@ -441,6 +439,19 @@ impl World {
     /// itself (§7.10.1).
     fn apply_backup_created(&mut self, cid: ClusterId, pid: Pid, backup_at: ClusterId) {
         let ci = cid.0 as usize;
+        // A re-protected global server has a new backup home; the
+        // directory must learn it or a later crash of the primary finds
+        // a stale `None` and kernels lose their RPC aim (§7.10.2).
+        {
+            let d = &mut self.clusters[ci].directory;
+            for (spid, _, backup) in
+                [&mut d.pager, &mut d.fs, &mut d.procserver].into_iter().flatten()
+            {
+                if *spid == pid {
+                    *backup = Some(backup_at);
+                }
+            }
+        }
         let mut owners_to_poke = Vec::new();
         for (end, e) in self.clusters[ci].routing.primary.iter_mut() {
             if e.peer == Some(pid) {

@@ -13,7 +13,7 @@
 //! on the same FIFO outgoing queue and zeroes its count).
 
 use auros_bus::proto::{
-    ChanKind, Control, FsRequest, FsReply, PagerRequest, Payload, ProcReply, ProcRequest,
+    ChanKind, Control, FsReply, FsRequest, PagerRequest, Payload, ProcReply, ProcRequest,
     ServiceKind,
 };
 use auros_bus::{ClusterId, DeliveryTag, Fd, Pid, Sig};
@@ -38,11 +38,7 @@ pub struct ServerEffects {
     /// Timers to arm.
     pub timers: Vec<(Dur, u64)>,
     /// Routing entries to create via `CreatePort` controls.
-    pub create_ports: Vec<(
-        ClusterId,
-        Option<ClusterId>,
-        auros_bus::proto::ChannelInit,
-    )>,
+    pub create_ports: Vec<(ClusterId, Option<ClusterId>, auros_bus::proto::ChannelInit)>,
     /// Whether the server requested an explicit sync (§7.9).
     pub sync_after: bool,
     /// Extra work-processor time beyond the fixed per-message cost.
@@ -338,12 +334,8 @@ impl World {
                 }
             }
             BlockState::Unusable { end } => {
-                let usable = self.clusters[ci]
-                    .routing
-                    .primary
-                    .get(&end)
-                    .map(|e| e.usable)
-                    .unwrap_or(true);
+                let usable =
+                    self.clusters[ci].routing.primary.get(&end).map(|e| e.usable).unwrap_or(true);
                 if usable {
                     self.wake(cid, pid);
                 }
@@ -366,9 +358,12 @@ impl World {
     }
 
     /// Consumes the front message of an entry, updating read counts.
-    fn consume_front(&mut self, cid: ClusterId, pid: Pid, end: auros_bus::proto::ChanEnd)
-        -> Option<crate::routing::Queued>
-    {
+    fn consume_front(
+        &mut self,
+        cid: ClusterId,
+        pid: Pid,
+        end: auros_bus::proto::ChanEnd,
+    ) -> Option<crate::routing::Queued> {
         let ci = cid.0 as usize;
         let entry = self.clusters[ci].routing.primary.get_mut(&end)?;
         let q = entry.queue.pop_front()?;
@@ -432,12 +427,8 @@ impl World {
             .map(|q| q.msg.payload.clone());
         let Some(payload) = front else {
             // No reply yet; if the peer is gone the call fails.
-            let gone = self.clusters[ci]
-                .routing
-                .primary
-                .get(&end)
-                .map(|e| e.peer_closed)
-                .unwrap_or(true);
+            let gone =
+                self.clusters[ci].routing.primary.get(&end).map(|e| e.peer_closed).unwrap_or(true);
             if gone {
                 self.set_result_and_wake(cid, pid, ERR);
             }
@@ -553,15 +544,13 @@ impl World {
             return;
         }
         // Peek the front signal's disposition.
-        let front_sig = self.clusters[ci]
-            .routing
-            .primary
-            .get(&end)
-            .and_then(|e| e.queue.front())
-            .and_then(|q| match q.msg.payload {
-                Payload::Signal(s) => Some(s),
-                _ => None,
-            });
+        let front_sig =
+            self.clusters[ci].routing.primary.get(&end).and_then(|e| e.queue.front()).and_then(
+                |q| match q.msg.payload {
+                    Payload::Signal(s) => Some(s),
+                    _ => None,
+                },
+            );
         let Some(sig) = front_sig else { return };
         let pcb = &self.clusters[ci].procs[&owner];
         match pcb.handlers.get(&sig) {
@@ -938,8 +927,7 @@ impl World {
             return fixed;
         };
         let mut data = vec![0u8; len];
-        let read =
-            self.with_machine(cid, pid, |m| m.memory_mut().read(buf, &mut data)).unwrap();
+        let read = self.with_machine(cid, pid, |m| m.memory_mut().read(buf, &mut data)).unwrap();
         match read {
             Access::Ok => {}
             Access::Fault(p) => {
@@ -996,8 +984,7 @@ impl World {
 
     fn sys_seek(&mut self, cid: ClusterId, pid: Pid) -> Dur {
         let fixed = self.cfg.costs.syscall_fixed;
-        let (fd, pos) =
-            self.with_machine(cid, pid, |m| (Fd(m.reg(R1) as u32), m.reg(R2))).unwrap();
+        let (fd, pos) = self.with_machine(cid, pid, |m| (Fd(m.reg(R1) as u32), m.reg(R2))).unwrap();
         let ci = cid.0 as usize;
         let Some(end) = self.clusters[ci].procs.get(&pid).and_then(|p| p.end_of(fd)) else {
             self.with_machine(cid, pid, |m| m.set_reg(R0, ERR));
@@ -1215,9 +1202,7 @@ impl World {
             }
         }
         for send in effects.sends {
-            if self.send_on_end(cid, pid, send.end, send.payload.clone())
-                == SendOutcome::Unusable
-            {
+            if self.send_on_end(cid, pid, send.end, send.payload.clone()) == SendOutcome::Unusable {
                 // A server cannot block; retry when the peer's new
                 // backup is announced (§7.10.1).
                 self.clusters[cid.0 as usize].deferred_sends.push((pid, send.end, send.payload));
@@ -1226,8 +1211,10 @@ impl World {
         let now = self.now();
         for (delay, token) in effects.timers {
             self.server_timers.insert((pid, token), cid);
-            self.queue
-                .schedule(now + delay, Event::ServerTimer { cluster: cid, pid, timer_token: token });
+            self.queue.schedule(
+                now + delay,
+                Event::ServerTimer { cluster: cid, pid, timer_token: token },
+            );
         }
         if effects.sync_after {
             self.perform_sync(cid, pid);
@@ -1293,13 +1280,9 @@ impl World {
         let fixed = self.cfg.costs.syscall_fixed;
         let ci = cid.0 as usize;
         // The whole address space must be materialized to copy it.
-        let missing = self.clusters[ci]
-            .procs
-            .get(&pid)
-            .and_then(|p| p.machine())
-            .and_then(|m| {
-                m.memory().valid_pages().iter().find(|p| !m.memory().is_resident(**p)).copied()
-            });
+        let missing = self.clusters[ci].procs.get(&pid).and_then(|p| p.machine()).and_then(|m| {
+            m.memory().valid_pages().iter().find(|p| !m.memory().is_resident(**p)).copied()
+        });
         if let Some(page) = missing {
             self.rewind_and_block_on_page(cid, pid, page);
             return fixed;
@@ -1388,8 +1371,7 @@ impl World {
             );
         }
         self.wake(cid, child);
-        self.cfg.costs.syscall_fixed
-            + self.cfg.costs.copy(pages * auros_vm::PAGE_SIZE)
+        self.cfg.costs.syscall_fixed + self.cfg.costs.copy(pages * auros_vm::PAGE_SIZE)
     }
 
     /// Creates the three bootstrap channels of a new process: local
@@ -1404,11 +1386,8 @@ impl World {
     ) -> Vec<auros_bus::proto::ChannelInit> {
         let dir = self.clusters[cid.0 as usize].directory.clone();
         let mut a_inits = Vec::new();
-        let specs: [(u8, ServerLoc); 3] = [
-            (ports::SIGNAL, dir.procserver),
-            (ports::FS, dir.fs),
-            (ports::PROC, dir.procserver),
-        ];
+        let specs: [(u8, ServerLoc); 3] =
+            [(ports::SIGNAL, dir.procserver), (ports::FS, dir.fs), (ports::PROC, dir.procserver)];
         for (slot, server) in specs {
             let Some((spid, sprimary, sbackup)) = server else { continue };
             let kind = crate::world::service_kind_for_slot(slot);
@@ -1462,8 +1441,12 @@ impl World {
         };
         machine.set_reg(R0, 0);
         machine.memory_mut().mark_all_dirty();
-        let mut pcb =
-            Pcb::new(child, ProcessBody::User(Box::new(machine)), mode, bootstrap_end(child, ports::SIGNAL));
+        let mut pcb = Pcb::new(
+            child,
+            ProcessBody::User(Box::new(machine)),
+            mode,
+            bootstrap_end(child, ports::SIGNAL),
+        );
         pcb.parent = Some(parent);
         pcb.backup = BackupStatus::None;
         pcb.recovering = true;

@@ -8,11 +8,11 @@
 
 use std::collections::BTreeMap;
 
+use auros_bus::proto::kernel_pid;
 use auros_bus::proto::{
     BackupMode, ChanEnd, ChanKind, ChannelId, ChannelInit, PagerReply, Payload, ProcReply,
     ProcRequest, ServiceKind, Side,
 };
-use auros_bus::proto::kernel_pid;
 use auros_bus::{BusSchedule, ClusterId, DeliveryTag, Frame, Message, MsgId, Pid};
 use auros_sim::{Dur, EventQueue, TraceCategory, TraceLog, VTime};
 
@@ -43,6 +43,9 @@ pub enum Event {
         /// When its bus window began (frames whose source crashed before
         /// this never made it onto the bus).
         xmit_start: VTime,
+        /// In-flight ledger key ([`UNTRACKED_FLIGHT`] for split frames of
+        /// the no-atomic-delivery ablation, which are not retransmitted).
+        flight: u64,
     },
     /// A user process's execution slice ended.
     QuantumEnd {
@@ -92,6 +95,18 @@ pub enum Event {
         /// The failing cluster.
         cluster: ClusterId,
     },
+    /// The active intercluster bus fails; traffic — including every
+    /// frame whose transmission window had not completed — moves to the
+    /// standby bus of the dual pair (§7.1).
+    BusFail,
+    /// One half of a dual-ported device's redundant hardware fails (one
+    /// mirror of a disk pair, §7.9); service continues on the survivor.
+    DiskHalfFail {
+        /// Device index in [`World::devices`].
+        device: usize,
+        /// Which half dies (`false` = first).
+        second: bool,
+    },
     /// §10 extension: a hardware failure kills one process without
     /// bringing its cluster down; only that process's backup is brought
     /// up.
@@ -128,6 +143,23 @@ pub enum Event {
         /// Bytes typed.
         data: Vec<u8>,
     },
+}
+
+/// Flight key of frames exempt from the in-flight ledger (the
+/// no-atomic-delivery ablation's per-target splits).
+pub const UNTRACKED_FLIGHT: u64 = u64::MAX;
+
+/// A frame currently occupying a bus window, kept so a bus failure can
+/// retransmit it on the standby (§7.1: the bus pair is redundant, so a
+/// single bus failure must lose nothing).
+#[derive(Debug)]
+struct InFlight {
+    /// Handle of the scheduled `BusDeliver`, for cancellation.
+    at: auros_sim::ScheduledAt,
+    /// The frame itself (the scheduled copy is unreachable once queued).
+    frame: Frame,
+    /// Wire size, to re-derive the retransmission window.
+    bytes: usize,
 }
 
 /// How a send attempt on an entry ended.
@@ -195,6 +227,10 @@ pub struct World {
     pub spawned: Vec<Pid>,
     /// Crashed clusters already announced to the survivors.
     announced_crashes: Vec<ClusterId>,
+    /// Frames on the bus (or queued for it) that have not yet delivered,
+    /// keyed by flight id in send order.
+    in_flight: BTreeMap<u64, InFlight>,
+    next_flight: u64,
     next_msg_id: u64,
     next_spawn: u64,
     /// Live timer tokens per server pid (stale ones are dropped).
@@ -226,6 +262,8 @@ impl World {
             exits: BTreeMap::new(),
             spawned: Vec::new(),
             announced_crashes: Vec::new(),
+            in_flight: BTreeMap::new(),
+            next_flight: 0,
             next_msg_id: 0,
             next_spawn: 0,
             server_timers: BTreeMap::new(),
@@ -340,9 +378,11 @@ impl World {
     /// descendant is still running.
     pub fn all_spawned_done(&self) -> bool {
         self.spawned.iter().all(|p| self.exits.contains_key(p))
-            && self.clusters.iter().filter(|c| c.alive).all(|c| {
-                c.procs.values().all(|p| p.is_server() || p.is_dead())
-            })
+            && self
+                .clusters
+                .iter()
+                .filter(|c| c.alive)
+                .all(|c| c.procs.values().all(|p| p.is_server() || p.is_dead()))
     }
 
     /// Exit status of a process, if it finished.
@@ -352,7 +392,9 @@ impl World {
 
     fn handle(&mut self, ev: Event) {
         match ev {
-            Event::BusDeliver { frame, xmit_start } => self.deliver_frame(frame, xmit_start),
+            Event::BusDeliver { frame, xmit_start, flight } => {
+                self.deliver_frame(frame, xmit_start, flight)
+            }
             Event::QuantumEnd { cluster, pid, token, exit, used } => {
                 self.on_quantum_end(cluster, pid, token, exit, used)
             }
@@ -363,12 +405,16 @@ impl World {
             Event::Dispatch { cluster } => self.try_dispatch(cluster),
             Event::Wake { cluster, pid } => self.on_wake(cluster, pid),
             Event::Crash { cluster } => self.on_crash(cluster),
+            Event::BusFail => self.on_bus_fail(),
+            Event::DiskHalfFail { device, second } => self.on_disk_half_fail(device, second),
             Event::PartialFailure { pid } => self.on_partial_failure(pid),
             Event::Restore { cluster } => self.on_restore(cluster),
             Event::CrashWorkDone { cluster, dead } => self.on_crash_work_done(cluster, dead),
             Event::PollTick => self.on_poll_tick(),
             Event::ReportTick { cluster } => self.on_report_tick(cluster),
-            Event::TerminalInput { device, line, data } => self.on_terminal_input(device, line, data),
+            Event::TerminalInput { device, line, data } => {
+                self.on_terminal_input(device, line, data)
+            }
         }
     }
 
@@ -486,11 +532,12 @@ impl World {
                 if self.cfg.ablations.no_atomic_delivery {
                     // Ablation: split the frame per target with a
                     // deterministic jitter — §5.1's non-interleaving
-                    // guarantee no longer holds.
+                    // guarantee no longer holds. Splits are exempt from
+                    // the in-flight ledger (and thus from bus-failover
+                    // retransmission).
                     for (i, target) in frame.targets.iter().enumerate() {
-                        let jitter = Dur(
-                            (frame.msg.id.0.wrapping_mul(2_654_435_761) >> (8 + i)) % 60,
-                        );
+                        let jitter =
+                            Dur((frame.msg.id.0.wrapping_mul(2_654_435_761) >> (8 + i)) % 60);
                         let split = Frame {
                             src_cluster: frame.src_cluster,
                             targets: vec![*target],
@@ -498,12 +545,22 @@ impl World {
                         };
                         self.queue.schedule(
                             deliver_at + jitter,
-                            Event::BusDeliver { frame: split, xmit_start: start },
+                            Event::BusDeliver {
+                                frame: split,
+                                xmit_start: start,
+                                flight: UNTRACKED_FLIGHT,
+                            },
                         );
                     }
                 } else {
-                    self.queue
-                        .schedule(deliver_at, Event::BusDeliver { frame, xmit_start: start });
+                    let flight = self.next_flight;
+                    self.next_flight += 1;
+                    let tracked = frame.clone();
+                    let at = self.queue.schedule(
+                        deliver_at,
+                        Event::BusDeliver { frame, xmit_start: start, flight },
+                    );
+                    self.in_flight.insert(flight, InFlight { at, frame: tracked, bytes });
                 }
             }
             None => {
@@ -518,10 +575,87 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Injected hardware faults (bus, devices)
+    // ------------------------------------------------------------------
+
+    /// The active bus dies. If the standby is healthy, every frame whose
+    /// transmission window had not completed is retransmitted on it, in
+    /// original send order; a second bus failure loses all of them.
+    fn on_bus_fail(&mut self) {
+        let now = self.now();
+        match self.bus.fail_active(now) {
+            Some(survivor) => {
+                self.stats.bus_failovers += 1;
+                let flights: Vec<u64> = self.in_flight.keys().copied().collect();
+                let mut retransmitted = 0u64;
+                for flight in flights {
+                    let (frame, bytes) = {
+                        let inf = &self.in_flight[&flight];
+                        (inf.frame.clone(), inf.bytes)
+                    };
+                    if !self.queue.cancel(self.in_flight[&flight].at) {
+                        // Delivery fired at this very tick before the
+                        // failure event: the frame made it.
+                        self.in_flight.remove(&flight);
+                        continue;
+                    }
+                    let xmit = self.cfg.costs.bus_xmit(bytes);
+                    let Some((start, deliver_at)) = self.bus.reserve(now, xmit, bytes) else {
+                        break; // Unreachable: the survivor was healthy.
+                    };
+                    self.stats.bus_busy += xmit;
+                    self.stats.frames_retransmitted += 1;
+                    retransmitted += 1;
+                    let at = self.queue.schedule(
+                        deliver_at,
+                        Event::BusDeliver { frame, xmit_start: start, flight },
+                    );
+                    self.in_flight.get_mut(&flight).expect("tracked above").at = at;
+                }
+                self.trace.emit(now, TraceCategory::Bus, None, || {
+                    format!(
+                        "active bus failed; {retransmitted} in-flight frames retransmitted on {survivor:?}"
+                    )
+                });
+            }
+            None => {
+                // Double bus fault: the machine is partitioned from
+                // itself. Everything in flight is lost.
+                let lost = self.in_flight.len();
+                let flights: Vec<auros_sim::ScheduledAt> =
+                    self.in_flight.values().map(|f| f.at).collect();
+                for at in flights {
+                    self.queue.cancel(at);
+                }
+                self.in_flight.clear();
+                self.trace.emit(now, TraceCategory::Bus, None, || {
+                    format!("both buses failed; {lost} in-flight frames lost")
+                });
+            }
+        }
+    }
+
+    /// One half of a device's redundant hardware fails (§7.9).
+    fn on_disk_half_fail(&mut self, device: usize, second: bool) {
+        let now = self.now();
+        if let Some(dev) = self.devices.get_mut(device) {
+            dev.fail_half(second);
+            self.stats.disk_half_faults += 1;
+            self.trace.emit(now, TraceCategory::Crash, None, || {
+                format!(
+                    "device {device} lost its {} half; continuing on the survivor",
+                    if second { "second" } else { "first" }
+                )
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Delivery
     // ------------------------------------------------------------------
 
-    fn deliver_frame(&mut self, frame: Frame, xmit_start: VTime) {
+    fn deliver_frame(&mut self, frame: Frame, xmit_start: VTime, flight: u64) {
+        self.in_flight.remove(&flight);
         let src_ci = frame.src_cluster.0 as usize;
         if let Some(crashed) = self.clusters[src_ci].crashed_at {
             if crashed <= xmit_start {
@@ -728,7 +862,8 @@ impl World {
                 let end = now + span;
                 self.clusters[ci].work_free[worker] = end;
                 self.stats.clusters[ci].work_busy += span;
-                self.queue.schedule(end, Event::QuantumEnd { cluster: cid, pid, token, exit, used });
+                self.queue
+                    .schedule(end, Event::QuantumEnd { cluster: cid, pid, token, exit, used });
             }
         }
     }

@@ -67,11 +67,7 @@ fn fuel_trigger_syncs_and_updates_backup_record() {
 #[test]
 fn crash_promotes_register_only_process() {
     let run = |crash: bool| {
-        let mut w = World::new(Config {
-            clusters: 3,
-            sync_max_fuel: 2_000,
-            ..Config::default()
-        });
+        let mut w = World::new(Config { clusters: 3, sync_max_fuel: 2_000, ..Config::default() });
         let pid = w.spawn_user(ClusterId(0), reg_program(1200), BackupMode::Quarterback, None);
         if crash {
             w.queue.schedule(VTime(12_000), Event::Crash { cluster: ClusterId(0) });
@@ -107,12 +103,8 @@ fn promotion_resumes_mid_computation_not_from_scratch() {
     let pid = w.spawn_user(ClusterId(0), reg_program(2_000), BackupMode::Quarterback, None);
     w.run_until(VTime(20_000));
     let record = w.clusters[1].backups.get(&pid).expect("record exists");
-    let synced_fuel = record
-        .image
-        .as_any()
-        .downcast_ref::<auros_vm::Snapshot>()
-        .expect("user image")
-        .fuel_used;
+    let synced_fuel =
+        record.image.as_any().downcast_ref::<auros_vm::Snapshot>().expect("user image").fuel_used;
     assert!(synced_fuel > 0, "the sync point is mid-run");
     w.queue.schedule(w.now(), Event::Crash { cluster: ClusterId(0) });
     assert!(w.run_to_completion(VTime(50_000_000)));

@@ -71,7 +71,11 @@ impl PagedMemory {
         let page = addr / PAGE_SIZE as u64;
         // A multi-byte access may spill into the next page; callers check
         // both ends.
-        if page < MAX_PAGE as u64 { Some(PageNo(page as u32)) } else { None }
+        if page < MAX_PAGE as u64 {
+            Some(PageNo(page as u32))
+        } else {
+            None
+        }
     }
 
     /// Pages currently valid (resident or not).

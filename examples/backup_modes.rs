@@ -31,7 +31,10 @@ fn main() {
     let crash_restore_crash: &[(u64, u16, bool)] =
         &[(8_000, 0, false), (25_000, 0, true), (60_000, 1, false)];
 
-    println!("{:<14} {:>10} {:>12} {:>22}", "mode", "one crash", "two crashes", "crash+restore+crash");
+    println!(
+        "{:<14} {:>10} {:>12} {:>22}",
+        "mode", "one crash", "two crashes", "crash+restore+crash"
+    );
     for mode in [BackupMode::Quarterback, BackupMode::Halfback, BackupMode::Fullback] {
         let a = survives(mode, one_crash);
         let b = survives(mode, two_crashes);

@@ -2,43 +2,54 @@
 //! processes in a cluster will not cause the cluster to crash, but will
 //! cause individual backups to be brought up for the affected processes."
 //!
-//! A bank and a bystander share cluster 0; the bank's hardware fails.
-//! The cluster stays up, the bystander never notices, and the bank's
-//! backup resumes mid-stream elsewhere.
+//! A bank and a bystander share cluster 0; the bank's hardware fails,
+//! and while its backup is being brought up the active intercluster bus
+//! dies too. The cluster stays up, the standby bus takes over, the
+//! bystander never notices, and the bank's backup resumes mid-stream
+//! elsewhere.
 //!
 //! ```sh
 //! cargo run --example partial_failure
 //! ```
 
+use auros::fault::FaultEvent;
 use auros::{programs, SystemBuilder, VTime};
 
-fn run(fail: bool) -> (Vec<Option<u64>>, bool, u64) {
+fn run(plan: &[FaultEvent]) -> (Vec<Option<u64>>, bool, u64, u64) {
     let mut b = SystemBuilder::new(3);
-    let bank = b.spawn(0, programs::bank_server("pf-bank", 200));
+    let _bank = b.spawn(0, programs::bank_server("pf-bank", 200));
     let _client = b.spawn(1, programs::bank_client("pf-bank", 200, 16, 5));
     let _bystander = b.spawn(0, programs::compute_loop(400, 4));
-    if fail {
-        b.fail_process_at(VTime(12_000), bank);
-    }
+    b.fault_plan(plan.iter().copied());
     let mut sys = b.build();
     assert!(sys.run(VTime(400_000_000)), "everything completes");
     let exits = (0..3).map(|i| sys.exit_of(i)).collect();
     let all_up = sys.world.clusters.iter().all(|c| c.alive);
     let promotions = sys.world.stats.clusters.iter().map(|c| c.promotions).sum();
-    (exits, all_up, promotions)
+    let failovers = sys.world.stats.bus_failovers;
+    (exits, all_up, promotions, failovers)
 }
 
 fn main() {
-    let (clean, _, _) = run(false);
+    let (clean, _, _, _) = run(&[]);
     println!("fault-free exits:         {clean:?}");
-    let (failed, all_up, promotions) = run(true);
+    // Spawn index 0 is the bank. Kill its hardware, then the active bus
+    // while the promoted backup is still re-establishing its channels.
+    let plan = [
+        FaultEvent::ProcessFail { at: VTime(12_000), spawn: 0 },
+        FaultEvent::BusFail { at: VTime(13_000) },
+    ];
+    let (failed, all_up, promotions, failovers) = run(&plan);
     println!("with partial failure:     {failed:?}");
     println!("all clusters still up:    {all_up}");
     println!("processes promoted:       {promotions} (just the bank)");
+    println!("bus failovers:            {failovers} (standby took over)");
     assert_eq!(clean, failed);
     assert!(all_up);
     assert_eq!(promotions, 1);
+    assert_eq!(failovers, 1);
     println!();
-    println!("the victim moved, its correspondents were re-routed, and the");
-    println!("colocated bystander never stopped — no cluster-wide crash (§10).");
+    println!("the victim moved, its correspondents were re-routed over the");
+    println!("standby bus, and the colocated bystander never stopped — no");
+    println!("cluster-wide crash (§10).");
 }

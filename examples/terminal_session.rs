@@ -31,10 +31,7 @@ fn main() {
     let (clean_out, clean_exit) = run(false);
     println!("fault-free session: {:?}", String::from_utf8_lossy(&clean_out));
     let (crashed_out, crashed_exit) = run(true);
-    println!(
-        "with tty-cluster crash at t=60000: {:?}",
-        String::from_utf8_lossy(&crashed_out)
-    );
+    println!("with tty-cluster crash at t=60000: {:?}", String::from_utf8_lossy(&crashed_out));
     assert_eq!(clean_out, crashed_out, "the user must not see the failure");
     assert_eq!(clean_exit, crashed_exit);
     println!("\nthe user at the terminal noticed at most a short delay (§3.3).");

@@ -1,0 +1,138 @@
+//! The seeded chaos sweep and the fault-plan DSL's validation.
+//!
+//! The sweep samples ≥100 random fault plans — cluster crashes, bus
+//! failures, disk-mirror failures, and sequenced double faults — and
+//! holds each to the survivability oracle: plans inside the paper's
+//! fault model must be externally indistinguishable from the fault-free
+//! twin and leave the survivors structurally sound; plans outside it
+//! must be *reported* unsurvivable, never silently corrupt.
+
+use auros::chaos::{run_sweep, ChaosConfig, PlanKind};
+use auros::fault::FaultPlanError;
+use auros::{programs, SystemBuilder, VTime};
+
+// ---------------------------------------------------------------------
+// The sweep itself
+// ---------------------------------------------------------------------
+
+#[test]
+fn chaos_sweep_of_120_seeded_plans_upholds_the_oracle() {
+    let report = run_sweep(&ChaosConfig { seed: 0xA42_0001, plans: 120 });
+    assert!(report.failures.is_empty(), "oracle failures:\n{}", report.summary());
+    // The sampler must actually exercise every fault shape.
+    for kind in PlanKind::ALL {
+        assert!(report.count_of(kind) > 0, "kind {kind:?} never sampled:\n{}", report.summary());
+    }
+    // Survivable plans dominate the distribution (6 of 8 shapes).
+    assert!(report.survived() >= report.outcomes.len() / 2, "{}", report.summary());
+    // Crash-bearing plans must have recorded a recovery latency.
+    let crash_latencies = report
+        .outcomes
+        .iter()
+        .filter(|o| o.survived && o.kind == PlanKind::SingleCrash)
+        .filter(|o| o.recovery_latency.is_some())
+        .count();
+    assert!(crash_latencies > 0, "no recovery latency recorded:\n{}", report.summary());
+}
+
+#[test]
+fn chaos_sweep_is_reproducible_from_its_seed() {
+    let cfg = ChaosConfig { seed: 77, plans: 6 };
+    let a = run_sweep(&cfg);
+    let b = run_sweep(&cfg);
+    let shape = |r: &auros::chaos::ChaosReport| -> Vec<_> {
+        r.outcomes.iter().map(|o| (o.kind, o.events.clone(), o.survived)).collect()
+    };
+    assert_eq!(shape(&a), shape(&b));
+}
+
+// ---------------------------------------------------------------------
+// Fault-plan validation at the builder
+// ---------------------------------------------------------------------
+
+fn plain_builder() -> SystemBuilder {
+    let mut b = SystemBuilder::new(3);
+    b.spawn(0, programs::compute_loop(50, 2));
+    b
+}
+
+#[test]
+fn crash_of_missing_cluster_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.crash_at(VTime(5_000), 7);
+    assert_eq!(
+        b.try_build().err(),
+        Some(FaultPlanError::ClusterOutOfRange { cluster: 7, clusters: 3 })
+    );
+}
+
+#[test]
+fn duplicate_crash_without_restore_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.crash_at(VTime(5_000), 1).crash_at(VTime(9_000), 1);
+    assert_eq!(
+        b.try_build().err(),
+        Some(FaultPlanError::DuplicateCrash { cluster: 1, at: VTime(9_000) })
+    );
+}
+
+#[test]
+fn crash_restore_crash_of_same_cluster_is_valid() {
+    let mut b = plain_builder();
+    b.crash_at(VTime(5_000), 1).restore_at(VTime(20_000), 1).crash_at(VTime(40_000), 1);
+    assert!(b.try_build().is_ok());
+}
+
+#[test]
+fn restore_of_live_cluster_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.restore_at(VTime(5_000), 2);
+    assert_eq!(
+        b.try_build().err(),
+        Some(FaultPlanError::RestoreOfLiveCluster { cluster: 2, at: VTime(5_000) })
+    );
+}
+
+#[test]
+fn fault_at_time_zero_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.bus_fail_at(VTime(0));
+    assert_eq!(b.try_build().err(), Some(FaultPlanError::AtTimeZero));
+}
+
+#[test]
+fn disk_fault_on_missing_pair_is_a_clean_builder_error() {
+    // No raw disks: only disk 0 (the file-system pair) exists.
+    let mut b = plain_builder();
+    b.disk_half_fail_at(VTime(5_000), 1);
+    assert_eq!(b.try_build().err(), Some(FaultPlanError::DiskOutOfRange { disk: 1, disks: 1 }));
+    // With a raw disk, the same plan is fine.
+    let mut b = plain_builder();
+    b.raw_disks(1);
+    b.disk_half_fail_at(VTime(5_000), 1);
+    assert!(b.try_build().is_ok());
+}
+
+#[test]
+fn partial_failure_of_missing_spawn_is_a_clean_builder_error() {
+    // The builder spawns exactly one process; index 1 names nobody.
+    let mut b = plain_builder();
+    b.fail_process_at(VTime(5_000), 1);
+    assert_eq!(b.try_build().err(), Some(FaultPlanError::SpawnOutOfRange { spawn: 1, spawns: 1 }));
+}
+
+#[test]
+#[should_panic(expected = "invalid fault plan")]
+fn build_panics_with_the_validation_message() {
+    let mut b = plain_builder();
+    b.crash_at(VTime(5_000), 9);
+    let _ = b.build();
+}
+
+#[test]
+fn validation_considers_time_order_not_call_order() {
+    // Calls arrive out of chronological order; the plan is still sound.
+    let mut b = plain_builder();
+    b.crash_at(VTime(40_000), 1).restore_at(VTime(20_000), 1).crash_at(VTime(5_000), 1);
+    assert!(b.try_build().is_ok());
+}

@@ -74,7 +74,12 @@ fn job_strategy() -> impl Strategy<Value = Job> {
     ]
 }
 
-fn run(jobs: &[Job], clusters: u16, mode: BackupMode, crash: Option<(u64, u16)>) -> (bool, RunDigest) {
+fn run(
+    jobs: &[Job],
+    clusters: u16,
+    mode: BackupMode,
+    crash: Option<(u64, u16)>,
+) -> (bool, RunDigest) {
     let mut b = SystemBuilder::new(clusters);
     b.default_mode(mode);
     for (i, j) in jobs.iter().enumerate() {

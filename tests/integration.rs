@@ -33,11 +33,7 @@ fn producer_consumer_stream_sums_match() {
     let c = b.spawn(2, programs::consumer("q", 100));
     let mut sys = b.build();
     assert!(sys.run(DEADLINE));
-    assert_eq!(
-        sys.exit_of(p),
-        sys.exit_of(c),
-        "the consumer's sum equals the producer's checksum"
-    );
+    assert_eq!(sys.exit_of(p), sys.exit_of(c), "the consumer's sum equals the producer's checksum");
 }
 
 #[test]
@@ -199,10 +195,7 @@ fn sync_cadence_is_tunable() {
     };
     let frequent = run(4);
     let rare = run(64);
-    assert!(
-        frequent > rare,
-        "a lower read threshold must sync more often ({frequent} vs {rare})"
-    );
+    assert!(frequent > rare, "a lower read threshold must sync more often ({frequent} vs {rare})");
 }
 
 #[test]
@@ -220,10 +213,7 @@ fn no_ft_baseline_sends_fewer_messages() {
     };
     let with_ft = run(true);
     let without = run(false);
-    assert!(
-        with_ft > without,
-        "three-way delivery carries more bytes ({with_ft} vs {without})"
-    );
+    assert!(with_ft > without, "three-way delivery carries more bytes ({with_ft} vs {without})");
 }
 
 #[test]

@@ -42,9 +42,8 @@ fn shadow_blocks_preserve_old_state_until_sync() {
     let mut sys = b.build();
     assert!(sys.run(DEADLINE));
     assert_eq!(sys.exit_of(w), Some(5120));
-    let (commits, _dirty) = sys
-        .with_fs(|_, disk| (disk.commits, disk.dirty_blocks()))
-        .expect("fs alive");
+    let (commits, _dirty) =
+        sys.with_fs(|_, disk| (disk.commits, disk.dirty_blocks())).expect("fs alive");
     assert!(commits > 0, "cache flushes committed the disk");
 }
 
@@ -191,8 +190,8 @@ fn unlink_removes_a_file() {
 
 #[test]
 fn unlink_of_missing_file_fails() {
-    use auros_vm::{ProgramBuilder, Sys};
     use auros_vm::inst::regs::*;
+    use auros_vm::{ProgramBuilder, Sys};
     let mut b = SystemBuilder::new(2);
     let mut p = ProgramBuilder::new("unlink_missing");
     p.blit(256, b"/never-existed", R1, R2);

@@ -432,7 +432,7 @@ mod tests {
 
         #[test]
         fn macro_drives_cases(x in 1u64..100, pair in (0u16..4, any::<bool>())) {
-            prop_assert!(x >= 1 && x < 100);
+            prop_assert!((1..100).contains(&x));
             prop_assert!(pair.0 < 4);
         }
     }
