@@ -1,0 +1,243 @@
+//! PR 2 perf baseline: wall-clock cost of the message fabric.
+//!
+//! Every other number in this repository is virtual-time and
+//! deterministic; this harness is the one place that measures *host*
+//! wall-clock, because the zero-copy work changes how fast the
+//! simulator runs, not what it computes (golden fingerprints are
+//! unchanged by construction). Each scenario is run several times and
+//! the best time is kept, which is the standard way to suppress
+//! scheduling noise on a shared machine.
+//!
+//! Output: a table on stdout plus `BENCH_PR2.json` at the repo root
+//! with before/after numbers for E1 (delivery throughput), E2 (sync
+//! cost) and E4 (recovery). The `before` numbers were captured by
+//! running this same harness on the tree as of the previous commit;
+//! they are embedded as constants so the committed JSON always carries
+//! both sides of the comparison.
+
+use std::time::Instant;
+
+use auros::{programs, System, SystemBuilder, VTime};
+
+const DEADLINE: VTime = VTime(4_000_000_000);
+const REPS: usize = 5;
+
+/// Wall-clock numbers from the pre-change tree (commit 2529dd9),
+/// captured with this harness on the same machine as the `after` run:
+/// `(scenario id, wall_ms, rate)`.
+const BEFORE: &[(&str, f64, f64)] = &[
+    ("e1_pingpong", 8.68, 1_758_780.0),
+    ("e1_bulk", 186.95, 19_213.0),
+    ("e2_sync", 7.21, 931_082.0),
+    ("e4_recovery", 3.18, 1_204_815.0),
+];
+
+struct Outcome {
+    id: &'static str,
+    experiment: &'static str,
+    /// Deterministic virtual-time facts about the run (identical before
+    /// and after, by the golden tests).
+    deliveries: u64,
+    bus_bytes: u64,
+    makespan_ticks: u64,
+    /// Best-of-`REPS` wall time.
+    wall_ms: f64,
+    /// Scenario rate: deliveries per wall second.
+    rate: f64,
+}
+
+fn measure(id: &'static str, experiment: &'static str, build: impl Fn() -> System) -> Outcome {
+    let mut best = f64::MAX;
+    let mut deliveries = 0;
+    let mut bus_bytes = 0;
+    let mut makespan = 0;
+    for _ in 0..REPS {
+        let mut sys = build();
+        let t0 = Instant::now();
+        assert!(sys.run(DEADLINE), "bench workload must complete: {id}");
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(dt);
+        let s = &sys.world.stats;
+        deliveries = s.clusters.iter().map(|c| c.deliveries).sum();
+        bus_bytes = s.bus_bytes;
+        makespan = sys.now().ticks();
+    }
+    Outcome {
+        id,
+        experiment,
+        deliveries,
+        bus_bytes,
+        makespan_ticks: makespan,
+        wall_ms: best,
+        rate: deliveries as f64 / (best / 1e3),
+    }
+}
+
+/// E1a: small-message delivery (the §5.1 canonical pingpong, FT on).
+fn e1_pingpong() -> System {
+    let mut b = SystemBuilder::new(3);
+    for i in 0..2 {
+        let name = format!("pp{i}");
+        b.spawn(i % 3, programs::pingpong(&name, 1200, true));
+        b.spawn((i + 1) % 3, programs::pingpong(&name, 1200, false));
+    }
+    b.build()
+}
+
+/// E1b: bulk delivery — 16 KiB payloads, where per-target deep copies
+/// dominate the pre-change profile.
+fn e1_bulk() -> System {
+    let mut b = SystemBuilder::new(3);
+    for i in 0..2 {
+        let name = format!("bulk{i}");
+        b.spawn(i % 3, programs::bulk_producer(&name, 400, 16 * 1024));
+        b.spawn((i + 1) % 3, programs::bulk_consumer(&name, 400, 16 * 1024));
+    }
+    b.build()
+}
+
+/// E2: sync cost — dirty-page-heavy compute with a short sync cadence,
+/// so checkpoint records (images + kernel state) dominate.
+fn e2_sync() -> System {
+    let mut b = SystemBuilder::new(2);
+    b.config_mut().sync_max_fuel = 2_000;
+    b.spawn(0, programs::compute_loop(200, 32));
+    b.build()
+}
+
+/// E4: recovery — a crash mid-run forces rollforward replay and backup
+/// rebuild traffic on top of the steady-state workload.
+fn e4_recovery() -> System {
+    let mut b = SystemBuilder::new(3);
+    b.spawn(0, programs::pingpong("e4", 400, true));
+    b.spawn(1, programs::pingpong("e4", 400, false));
+    b.spawn(1, programs::bank_server("e4b", 300));
+    b.spawn(2, programs::bank_client("e4b", 300, 48, 5));
+    b.crash_at(VTime(30_000), 0);
+    b.build()
+}
+
+fn json_num(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+fn main() {
+    let outcomes = vec![
+        measure("e1_pingpong", "E1", e1_pingpong),
+        measure("e1_bulk", "E1", e1_bulk),
+        measure("e2_sync", "E2", e2_sync),
+        measure("e4_recovery", "E4", e4_recovery),
+    ];
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "scenario", "exp", "deliveries", "bus_bytes", "wall_ms", "deliv/sec", "vs before"
+    );
+    let mut entries = Vec::new();
+    for o in &outcomes {
+        let before = BEFORE.iter().find(|(id, _, _)| *id == o.id);
+        let gain = before.map(|(_, _, r0)| 100.0 * (o.rate - r0) / r0);
+        println!(
+            "{:<14} {:>6} {:>12} {:>12} {:>12.2} {:>14.0} {:>10}",
+            o.id,
+            o.experiment,
+            o.deliveries,
+            o.bus_bytes,
+            o.wall_ms,
+            o.rate,
+            gain.map_or("n/a".to_string(), |g| format!("{g:+.1}%")),
+        );
+        let before_json = before.map_or("null".to_string(), |(_, ms, r)| {
+            format!(r#"{{"wall_ms": {}, "deliveries_per_sec": {}}}"#, json_num(*ms), json_num(*r))
+        });
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"id\": \"{id}\",\n",
+                "      \"experiment\": \"{exp}\",\n",
+                "      \"virtual\": {{\"deliveries\": {del}, \"bus_bytes\": {bytes}, ",
+                "\"makespan_ticks\": {span}}},\n",
+                "      \"before\": {before},\n",
+                "      \"after\": {{\"wall_ms\": {ms}, \"deliveries_per_sec\": {rate}}},\n",
+                "      \"improvement_pct\": {gain}\n",
+                "    }}"
+            ),
+            id = o.id,
+            exp = o.experiment,
+            del = o.deliveries,
+            bytes = o.bus_bytes,
+            span = o.makespan_ticks,
+            before = before_json,
+            ms = json_num(o.wall_ms),
+            rate = json_num(o.rate),
+            gain = gain.map_or("null".to_string(), json_num),
+        ));
+    }
+
+    let probe = probe_json();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"auros-bench-pr2/v1\",\n",
+            "  \"command\": \"cargo run --release -p auros-bench --bin bench_pr2\",\n",
+            "  \"note\": \"wall-clock columns are machine-dependent (best of {reps} runs); ",
+            "virtual columns are deterministic and identical before/after\",\n",
+            "  \"experiments\": [\n{entries}\n  ],\n",
+            "  \"alloc_probe\": {probe}\n",
+            "}}\n"
+        ),
+        reps = REPS,
+        entries = entries.join(",\n"),
+        probe = probe,
+    );
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    std::fs::write(root, &json).expect("write BENCH_PR2.json");
+    println!("\nwrote {root}");
+}
+
+/// Payload-allocation counts for canonical scenarios, from the bus
+/// crate's allocation probe (post-change only: the probe counts fresh
+/// payload buffers, which the pre-change `Vec<u8>` fabric did not
+/// expose). Runs the same bulk workload with and without fault
+/// tolerance: the fault-tolerant run delivers every message to three
+/// destinations, yet both runs must allocate exactly one payload buffer
+/// per message sent.
+fn probe_json() -> String {
+    use auros::bus::payload_allocs;
+    const MSGS: u64 = 40;
+    let run = |fault_tolerant: bool| -> (u64, u64) {
+        let before = payload_allocs();
+        let mut b = SystemBuilder::new(3);
+        if !fault_tolerant {
+            b.without_fault_tolerance();
+        }
+        b.spawn(0, programs::bulk_producer("probe", MSGS, 4096));
+        b.spawn(1, programs::bulk_consumer("probe", MSGS, 4096));
+        let mut sys = b.build();
+        assert!(sys.run(DEADLINE), "probe workload must complete");
+        let allocs = payload_allocs() - before;
+        let deliveries = sys.world.stats.clusters.iter().map(|c| c.deliveries).sum();
+        (allocs, deliveries)
+    };
+    let (ft_allocs, ft_deliveries) = run(true);
+    let (solo_allocs, solo_deliveries) = run(false);
+    assert_eq!(ft_allocs, MSGS, "triple delivery must cost one allocation per message");
+    assert_eq!(solo_allocs, ft_allocs, "fan-out must not allocate payload buffers");
+    format!(
+        concat!(
+            "{{\n",
+            "    \"note\": \"fresh payload buffers per run (clones/slices are free); ",
+            "post-change only — the pre-change Vec<u8> fabric had no probe\",\n",
+            "    \"messages_sent\": {msgs},\n",
+            "    \"triple_delivery\": {{\"payload_allocs\": {fa}, \"deliveries\": {fd}}},\n",
+            "    \"single_delivery\": {{\"payload_allocs\": {sa}, \"deliveries\": {sd}}}\n",
+            "  }}"
+        ),
+        msgs = MSGS,
+        fa = ft_allocs,
+        fd = ft_deliveries,
+        sa = solo_allocs,
+        sd = solo_deliveries,
+    )
+}

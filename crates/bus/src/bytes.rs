@@ -1,0 +1,208 @@
+//! Shared, immutable byte buffers for message payloads.
+//!
+//! The paper's bus hardware transmits a message once and lets every
+//! target cluster read the same transmission (§7.4.2); nothing in the
+//! design copies payload bytes per destination. [`SharedBytes`] gives
+//! the simulation the same cost shape: the buffer is allocated once
+//! when the payload enters the system (at the sending kernel's copy-in
+//! from guest memory, or at a server's reply construction) and every
+//! subsequent clone — per-target fan-out, the in-flight ledger, saved
+//! backup queues, rebuild records — is a reference-count bump.
+//!
+//! The module also hosts the *allocation probe*: a process-wide counter
+//! of fresh payload buffers, used by the perf baseline
+//! (`BENCH_PR2.json`) and by the regression test that pins "one frame
+//! to three clusters costs exactly one payload allocation".
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Fresh payload-buffer allocations since process start.
+///
+/// Counts buffers, not clones: [`SharedBytes::clone`] and
+/// [`SharedBytes::slice`] never touch it, and zero-length buffers are
+/// interned and free. Monotonic and `Relaxed` — the simulation is
+/// single-threaded and the probe is only ever read for deltas.
+static PAYLOAD_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the allocation probe. Take a reading before and after the
+/// region of interest and subtract.
+pub fn payload_allocs() -> u64 {
+    PAYLOAD_ALLOCS.load(Ordering::Relaxed)
+}
+
+fn empty_buf() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
+
+/// An immutable byte buffer with cheap clone and zero-copy slicing.
+///
+/// Equality, ordering and hashing are by content, so swapping a
+/// `Vec<u8>` field for `SharedBytes` does not change any derived
+/// semantics.
+#[derive(Clone)]
+pub struct SharedBytes {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl SharedBytes {
+    /// The shared empty buffer; never allocates.
+    pub fn empty() -> SharedBytes {
+        SharedBytes { buf: empty_buf(), off: 0, len: 0 }
+    }
+
+    /// Copies `data` into a fresh shared buffer (one probe tick unless
+    /// empty).
+    pub fn copy_from(data: &[u8]) -> SharedBytes {
+        if data.is_empty() {
+            return SharedBytes::empty();
+        }
+        PAYLOAD_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        SharedBytes { buf: Arc::from(data), off: 0, len: data.len() }
+    }
+
+    /// Bytes in this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of `self`; shares the same buffer.
+    ///
+    /// # Panics
+    /// Panics if `start..end` is out of bounds or inverted.
+    pub fn slice(&self, start: usize, end: usize) -> SharedBytes {
+        assert!(start <= end && end <= self.len, "slice {start}..{end} of {}", self.len);
+        SharedBytes { buf: self.buf.clone(), off: self.off + start, len: end - start }
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+}
+
+impl Default for SharedBytes {
+    fn default() -> SharedBytes {
+        SharedBytes::empty()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(v: Vec<u8>) -> SharedBytes {
+        if v.is_empty() {
+            return SharedBytes::empty();
+        }
+        PAYLOAD_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let len = v.len();
+        SharedBytes { buf: Arc::from(v), off: 0, len }
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(s: &[u8]) -> SharedBytes {
+        SharedBytes::copy_from(s)
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &SharedBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for SharedBytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for SharedBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl std::fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_the_buffer() {
+        let before = payload_allocs();
+        let b = SharedBytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(payload_allocs() - before, 1);
+        let c = b.clone();
+        let s = b.slice(1, 4);
+        assert_eq!(payload_allocs() - before, 1, "clone and slice must not allocate");
+        assert_eq!(c, b);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert!(Arc::ptr_eq(&b.buf, &s.buf));
+    }
+
+    #[test]
+    fn empty_buffers_are_interned() {
+        let before = payload_allocs();
+        let a = SharedBytes::empty();
+        let b = SharedBytes::from(Vec::new());
+        let c = SharedBytes::copy_from(&[]);
+        assert_eq!(payload_allocs(), before);
+        assert!(a.is_empty() && b.is_empty() && c.is_empty());
+    }
+
+    #[test]
+    fn content_equality_ignores_representation() {
+        let a = SharedBytes::from(vec![9u8, 8, 7]);
+        let b = SharedBytes::from(vec![0u8, 9, 8, 7]).slice(1, 4);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![9u8, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice")]
+    fn out_of_bounds_slice_panics() {
+        SharedBytes::from(vec![1u8, 2]).slice(1, 3);
+    }
+}

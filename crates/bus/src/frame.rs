@@ -90,6 +90,7 @@ impl Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::SharedBytes;
     use crate::proto::{ChannelId, Side};
 
     fn end() -> ChanEnd {
@@ -98,8 +99,12 @@ mod tests {
 
     #[test]
     fn at_most_one_primary_target() {
-        let msg =
-            Message { id: MsgId(1), src: Pid(1), payload: Payload::Data(vec![]), nondet: vec![] };
+        let msg = Message {
+            id: MsgId(1),
+            src: Pid(1),
+            payload: Payload::Data(SharedBytes::empty()),
+            nondet: vec![],
+        };
         let bad = Frame {
             src_cluster: ClusterId(0),
             targets: vec![
@@ -126,13 +131,13 @@ mod tests {
         let small = Message {
             id: MsgId(1),
             src: Pid(1),
-            payload: Payload::Data(vec![0; 8]),
+            payload: Payload::Data(vec![0; 8].into()),
             nondet: vec![],
         };
         let large = Message {
             id: MsgId(2),
             src: Pid(1),
-            payload: Payload::Data(vec![0; 800]),
+            payload: Payload::Data(vec![0; 800].into()),
             nondet: vec![],
         };
         assert!(large.wire_size() > small.wire_size());

@@ -20,11 +20,13 @@
 //! protocol ([`proto`]) spoken by kernels, the page server, the file
 //! server family, and the process server.
 
+pub mod bytes;
 pub mod frame;
 pub mod ids;
 pub mod proto;
 pub mod schedule;
 
+pub use bytes::{payload_allocs, SharedBytes};
 pub use frame::{DeliveryTag, Frame, Message, MsgId};
 pub use ids::{ChannelName, ClusterId, EntryId, Fd, Pid, Sig};
 pub use proto::Payload;

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use auros_vm::{PageNo, Program, Snapshot, PAGE_SIZE};
 
+use crate::bytes::SharedBytes;
 use crate::frame::Message;
 use crate::ids::{ChannelName, ClusterId, Fd, Pid, Sig};
 
@@ -151,7 +152,7 @@ pub struct ChannelInit {
 /// User processes snapshot their VM ([`auros_vm::Snapshot`]); server
 /// processes snapshot their whole state object. The kernel downcasts on
 /// restore.
-pub trait ProcessImage: std::fmt::Debug {
+pub trait ProcessImage: std::fmt::Debug + Send + Sync {
     /// Deep-copies the image.
     fn clone_box(&self) -> Box<dyn ProcessImage>;
     /// Downcast support.
@@ -165,6 +166,13 @@ impl Clone for Box<dyn ProcessImage> {
         self.clone_box()
     }
 }
+
+/// A checkpoint image shared copy-on-write between the sync record in
+/// flight, the backup record it updates, and any rebuild traffic.
+/// Images are immutable once taken, so sharing is safe; the promote
+/// path downcasts and clones the concrete image exactly once, when a
+/// backup actually becomes a primary.
+pub type SharedImage = Arc<dyn ProcessImage>;
 
 impl ProcessImage for Snapshot {
     fn clone_box(&self) -> Box<dyn ProcessImage> {
@@ -246,10 +254,10 @@ pub struct SyncRecord {
     pub pid: Pid,
     /// Monotonic sync generation, starting at 1.
     pub sync_seq: u64,
-    /// CPU/image state as of the sync point.
-    pub image: Box<dyn ProcessImage>,
-    /// Kernel-kept cluster-independent state.
-    pub kstate: KernelState,
+    /// CPU/image state as of the sync point (shared, copy-on-write).
+    pub image: SharedImage,
+    /// Kernel-kept cluster-independent state (shared, copy-on-write).
+    pub kstate: Arc<KernelState>,
     /// Reads done since the last sync, per channel end — the backup
     /// discards that many saved messages (§5.2, §7.8).
     pub reads_since_sync: Vec<(ChanEnd, u64)>,
@@ -267,6 +275,10 @@ pub struct SyncRecord {
     /// at a new cluster after a crash.
     pub rebuild: Option<RebuildInfo>,
 }
+
+/// One saved backup queue: a channel end with its `(write_seq, message)`
+/// pairs, as captured at the last sync.
+pub type SavedQueue = (ChanEnd, Vec<(u64, Message)>);
 
 /// Text and channel table for (re)creating a backup from scratch.
 #[derive(Clone, Debug)]
@@ -289,8 +301,9 @@ pub struct RebuildInfo {
     /// messages and residual write counts so the fresh backup offers the
     /// same protection the old one did. (The paper does not spell this
     /// step out; without it a second failure before the next sync would
-    /// lose the saved messages.)
-    pub queues: Vec<(ChanEnd, Vec<(u64, Message)>)>,
+    /// lose the saved messages.) Shared: the receiving cluster replays
+    /// from the same buffers the sender captured.
+    pub queues: Arc<Vec<SavedQueue>>,
     /// Residual suppression counts per end, transferred with the queues.
     pub write_counts: Vec<(ChanEnd, u64)>,
 }
@@ -339,9 +352,12 @@ pub struct BirthNotice {
 pub enum Control {
     /// A process synchronization (§7.8). Also read by the page server,
     /// which makes the backup page account identical to the primary's.
-    Sync(Box<SyncRecord>),
-    /// A fork occurred (§7.7).
-    Birth(Box<BirthNotice>),
+    /// `Arc`: the record (image, kernel state, rebuild queues) is built
+    /// once and shared by every cluster the frame reaches.
+    Sync(Arc<SyncRecord>),
+    /// A fork occurred (§7.7). `Arc` for the same reason — the program
+    /// text inside must not be re-cloned per delivery target.
+    Birth(Arc<BirthNotice>),
     /// A new backup exists for `pid` at `cluster`; correspondents repair
     /// routing and unblock fullback channels (§7.10.1 step 1).
     BackupCreated {
@@ -412,8 +428,8 @@ pub enum FsRequest {
     },
     /// Write bytes at the channel's cursor.
     FileWrite {
-        /// Data to write.
-        data: Vec<u8>,
+        /// Data to write; shared so fan-out does not copy it.
+        data: SharedBytes,
     },
     /// Reposition the channel's cursor.
     FileSeek {
@@ -461,7 +477,7 @@ pub enum FsReply {
         err: FsError,
     },
     /// Data returned by `FileRead` (empty at end of file).
-    Data(Vec<u8>),
+    Data(SharedBytes),
     /// Byte count acknowledged for `FileWrite`.
     Ack(u64),
     /// Request-level error.
@@ -615,7 +631,7 @@ pub enum TtyMsg {
 #[derive(Clone, Debug)]
 pub enum Payload {
     /// Ordinary user data on a channel.
-    Data(Vec<u8>),
+    Data(SharedBytes),
     /// An asynchronous signal on a signal channel (§7.5.2).
     Signal(Sig),
     /// File server request.
@@ -738,7 +754,7 @@ mod tests {
 
     #[test]
     fn payload_sizes_reflect_content() {
-        let small = Payload::Data(vec![0; 10]);
+        let small = Payload::Data(vec![0; 10].into());
         let page = Payload::Pager(PagerRequest::PageOut {
             pid: Pid(1),
             page: PageNo(0),

@@ -56,12 +56,12 @@ proptest! {
             msg: Message {
                 id: MsgId(0),
                 src: Pid(1),
-                payload: Payload::Data(vec![0; data_len]),
+                payload: Payload::Data(vec![0; data_len].into()),
                 nondet: vec![],
             },
         };
         let mut bigger = base.clone();
-        bigger.msg.payload = Payload::Data(vec![0; data_len + 1]);
+        bigger.msg.payload = Payload::Data(vec![0; data_len + 1].into());
         for i in 0..extra_targets {
             bigger.targets.push((
                 auros_bus::ClusterId(2 + i as u16),

@@ -106,7 +106,7 @@ pub fn check_survival(sys: &System) -> SurvivalReport {
 
     for c in sys.world.clusters.iter().filter(|c| c.alive) {
         // 1: routing hints point at live clusters.
-        for (end, e) in &c.routing.primary {
+        for (end, e) in c.routing.primary_iter() {
             if !e.usable || e.peer_closed {
                 continue;
             }

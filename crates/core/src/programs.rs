@@ -185,6 +185,72 @@ pub fn consumer(name: &str, count: u64) -> Program {
     b.build()
 }
 
+/// Streams `count` messages of `size` bytes each into a rendezvous
+/// channel (bulk-transfer shape: one large buffer per send).
+///
+/// The first word of each message carries a derived value; the rest of
+/// the buffer is whatever the touched pages hold. Exits with a checksum
+/// over the sent values so replay divergence is observable.
+pub fn bulk_producer(name: &str, count: u64, size: u64) -> Program {
+    let mut b = ProgramBuilder::new("bulk_producer");
+    emit_open(&mut b, name);
+    // Touch every page of the transfer buffer so sends read resident
+    // memory rather than faulting mid-syscall.
+    b.li(R6, 0);
+    let touch = b.here();
+    b.li(R7, DATA);
+    b.add(R7, R7, R6);
+    b.store_at(R6, R7, 0);
+    b.li(R8, PAGE);
+    b.add(R6, R6, R8);
+    b.li(R8, size);
+    b.ltu(R9, R6, R8);
+    b.jnz(R9, touch);
+    b.li(R5, count);
+    b.li(R6, 0); // index
+    b.li(R10, 0); // checksum
+    let top = b.here();
+    // value = index * 2654435761 + 99
+    b.li(R7, 2_654_435_761);
+    b.mul(R7, R6, R7);
+    b.addi(R7, R7, 99);
+    b.add(R10, R10, R7);
+    b.li(R8, DATA);
+    b.store_at(R7, R8, 0);
+    b.mov(R1, R4);
+    b.li(R2, DATA);
+    b.li(R3, size);
+    b.trap(Sys::Write);
+    b.addi(R6, R6, 1);
+    b.addi(R5, R5, -1);
+    b.jnz(R5, top);
+    b.mov(R1, R10);
+    b.trap(Sys::Exit);
+    b.build()
+}
+
+/// Consumes `count` messages of up to `size` bytes from a rendezvous
+/// channel; exits with the sum of each message's first word.
+pub fn bulk_consumer(name: &str, count: u64, size: u64) -> Program {
+    let mut b = ProgramBuilder::new("bulk_consumer");
+    emit_open(&mut b, name);
+    b.li(R5, count);
+    b.li(R10, 0);
+    let top = b.here();
+    b.mov(R1, R4);
+    b.li(R2, DATA);
+    b.li(R3, size);
+    b.trap(Sys::Read);
+    b.li(R7, DATA);
+    b.load(R6, R7, 0);
+    b.add(R10, R10, R6);
+    b.addi(R5, R5, -1);
+    b.jnz(R5, top);
+    b.mov(R1, R10);
+    b.trap(Sys::Exit);
+    b.build()
+}
+
 /// A pipeline stage: reads values from `input`, transforms them
 /// (`v * 3 + 7`), and writes them to `output`.
 pub fn pipeline_stage(input: &str, output: &str, count: u64) -> Program {

@@ -403,7 +403,7 @@ impl FileServer {
         let read = out.len() as u64;
         self.channels.get_mut(&end).expect("cursor exists").pos = cursor.pos + read;
         ctx.work(Dur((read / 64).max(1)));
-        ctx.send(end, Payload::FsReply(FsReply::Data(out)));
+        ctx.send(end, Payload::FsReply(FsReply::Data(out.into())));
     }
 
     /// Writes `data` into `fid` at `pos` through the cache.
@@ -621,7 +621,7 @@ mod tests {
             &mut fs,
             &mut disk,
             b_end,
-            Payload::Fs(FsRequest::FileWrite { data: b"hello world".to_vec() }),
+            Payload::Fs(FsRequest::FileWrite { data: b"hello world".to_vec().into() }),
         );
         assert!(matches!(r[0].1, Payload::FsReply(FsReply::Ack(11))));
         drive(&mut fs, &mut disk, b_end, Payload::Fs(FsRequest::FileSeek { pos: 6 }));
@@ -734,7 +734,7 @@ mod tests {
         fs.on_message(
             Pid(7),
             b_end,
-            &Payload::Fs(FsRequest::FileWrite { data: vec![1; 100] }),
+            &Payload::Fs(FsRequest::FileWrite { data: vec![1; 100].into() }),
             &mut ctx,
         );
         assert!(!ctx.sync_after);
@@ -742,7 +742,7 @@ mod tests {
         fs.on_message(
             Pid(7),
             b_end,
-            &Payload::Fs(FsRequest::FileWrite { data: vec![2; 100] }),
+            &Payload::Fs(FsRequest::FileWrite { data: vec![2; 100].into() }),
             &mut ctx2,
         );
         assert!(ctx2.sync_after, "second write trips the flush cadence");

@@ -75,7 +75,7 @@ impl ServerLogic for RawServer {
                 }
                 self.cursors.insert(end, pos + out.len() as u64);
                 ctx.work(Dur((out.len() / 64).max(1) as u64));
-                ctx.send(end, Payload::FsReply(FsReply::Data(out)));
+                ctx.send(end, Payload::FsReply(FsReply::Data(out.into())));
             }
             Payload::Fs(FsRequest::FileWrite { data }) => {
                 let pos = self.cursor(end);
@@ -158,8 +158,11 @@ mod tests {
     fn write_then_seek_then_read_round_trips() {
         let mut s = RawServer::new();
         let mut d = DiskPair::new();
-        let r =
-            drive(&mut s, &mut d, Payload::Fs(FsRequest::FileWrite { data: b"hello".to_vec() }));
+        let r = drive(
+            &mut s,
+            &mut d,
+            Payload::Fs(FsRequest::FileWrite { data: b"hello".to_vec().into() }),
+        );
         assert!(matches!(r[0], Payload::FsReply(FsReply::Ack(5))));
         drive(&mut s, &mut d, Payload::Fs(FsRequest::FileSeek { pos: 0 }));
         let r = drive(&mut s, &mut d, Payload::Fs(FsRequest::FileRead { len: 5 }));
@@ -174,7 +177,11 @@ mod tests {
         let mut s = RawServer::new();
         let mut d = DiskPair::new();
         drive(&mut s, &mut d, Payload::Fs(FsRequest::FileSeek { pos: BLOCK_SIZE as u64 - 3 }));
-        drive(&mut s, &mut d, Payload::Fs(FsRequest::FileWrite { data: b"abcdef".to_vec() }));
+        drive(
+            &mut s,
+            &mut d,
+            Payload::Fs(FsRequest::FileWrite { data: b"abcdef".to_vec().into() }),
+        );
         drive(&mut s, &mut d, Payload::Fs(FsRequest::FileSeek { pos: BLOCK_SIZE as u64 - 3 }));
         let r = drive(&mut s, &mut d, Payload::Fs(FsRequest::FileRead { len: 6 }));
         match &r[0] {
@@ -190,13 +197,18 @@ mod tests {
         s.sync_every = 2;
         let mut d = DiskPair::new();
         let mut ctx = ServerCtx::new(VTime(0), Pid(50), Some(&mut d));
-        s.on_message(Pid(1), end(), &Payload::Fs(FsRequest::FileWrite { data: vec![1] }), &mut ctx);
+        s.on_message(
+            Pid(1),
+            end(),
+            &Payload::Fs(FsRequest::FileWrite { data: vec![1].into() }),
+            &mut ctx,
+        );
         assert!(!ctx.sync_after);
         let mut ctx2 = ServerCtx::new(VTime(1), Pid(50), Some(&mut d));
         s.on_message(
             Pid(1),
             end(),
-            &Payload::Fs(FsRequest::FileWrite { data: vec![2] }),
+            &Payload::Fs(FsRequest::FileWrite { data: vec![2].into() }),
             &mut ctx2,
         );
         assert!(ctx2.sync_after, "second write trips the cadence");

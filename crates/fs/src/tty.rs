@@ -201,7 +201,7 @@ impl ServerLogic for TtyServer {
             for b in bytes {
                 if b == CTRL_C {
                     if !run.is_empty() {
-                        ctx.send(end, Payload::Data(std::mem::take(&mut run)));
+                        ctx.send(end, Payload::Data(std::mem::take(&mut run).into()));
                     }
                     self.interrupts += 1;
                     ctx.send(
@@ -213,7 +213,7 @@ impl ServerLogic for TtyServer {
                 }
             }
             if !run.is_empty() {
-                ctx.send(end, Payload::Data(run));
+                ctx.send(end, Payload::Data(run.into()));
             }
         }
         // Commit the consumed input promptly: sync after each device
@@ -320,7 +320,7 @@ mod tests {
         let mut t = Terminal::new();
         bind(&mut s, &mut t, 0, 9);
         let mut ctx = ServerCtx::new(VTime(1), Pid(40), Some(&mut t));
-        s.on_message(Pid(9), chan(10), &Payload::Data(b"hi".to_vec()), &mut ctx);
+        s.on_message(Pid(9), chan(10), &Payload::Data(b"hi"[..].into()), &mut ctx);
         assert_eq!(t.committed_output(0), b"");
         t.on_owner_sync();
         assert_eq!(t.committed_output(0), b"hi");

@@ -90,8 +90,8 @@ impl World {
         let record = SyncRecord {
             pid,
             sync_seq: ckpt_no,
-            image: Box::new(image),
-            kstate,
+            image: std::sync::Arc::new(image),
+            kstate: std::sync::Arc::new(kstate),
             reads_since_sync: Vec::new(),
             residual_suppress: Vec::new(),
             closed: Vec::new(),
@@ -100,7 +100,7 @@ impl World {
         self.send_control(
             cid,
             vec![(neighbour, DeliveryTag::Kernel)],
-            Payload::Control(Control::Sync(Box::new(record))),
+            Payload::Control(Control::Sync(std::sync::Arc::new(record))),
         );
     }
 }

@@ -7,8 +7,9 @@
 //! replay (§7.7).
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
-use auros_bus::proto::{BackupMode, ChanEnd, KernelState, ProcessImage};
+use auros_bus::proto::{BackupMode, ChanEnd, KernelState, SharedImage};
 use auros_bus::{ClusterId, Frame, Pid};
 use auros_sim::VTime;
 use auros_vm::Program;
@@ -28,10 +29,12 @@ pub struct BackupRecord {
     /// Cluster currently hosting the primary; crash handling promotes
     /// every backup whose primary ran in the dead cluster (§7.10.1).
     pub primary_cluster: ClusterId,
-    /// Process image as of the last sync.
-    pub image: Box<dyn ProcessImage>,
-    /// Kernel-kept state as of the last sync.
-    pub kstate: KernelState,
+    /// Process image as of the last sync; shared with the sync record
+    /// it came from (copy-on-write — promotion clones the concrete
+    /// image exactly once).
+    pub image: SharedImage,
+    /// Kernel-kept state as of the last sync, shared likewise.
+    pub kstate: Arc<KernelState>,
     /// Program text (user processes).
     pub program: Option<Program>,
     /// Backup mode.

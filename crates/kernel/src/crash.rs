@@ -125,7 +125,7 @@ impl World {
                     if let DeliveryTag::Primary(end) = tag {
                         let sender_end = end.peer();
                         let c = &self.clusters[ci];
-                        if let Some(e) = c.routing.primary.get(&sender_end) {
+                        if let Some(e) = c.routing.primary(&sender_end) {
                             if let Some(np) = e.peer_primary {
                                 redirected_ends.push(end);
                                 return Some((np, tag));
@@ -151,7 +151,7 @@ impl World {
 
         // Readers/writers whose peer vanished without a backup fail now.
         for end in outcome.orphaned {
-            let owner = self.clusters[ci].routing.primary.get(&end).map(|e| e.owner);
+            let owner = self.clusters[ci].routing.primary(&end).map(|e| e.owner);
             if let Some(owner) = owner {
                 self.try_unblock(cid, owner);
             }
@@ -289,8 +289,8 @@ impl World {
         // counts become suppression budgets (§5.4).
         let ends = self.clusters[ci].routing.backup_ends_of(pid);
         for end in ends {
-            if let Some(be) = self.clusters[ci].routing.backup.remove(&end) {
-                self.clusters[ci].routing.primary.insert(end, be.promote(None));
+            if let Some(be) = self.clusters[ci].routing.remove_backup(&end) {
+                self.clusters[ci].routing.insert_primary(end, be.promote(None));
             }
         }
         self.stats.clusters[ci].promotions += 1;
@@ -364,7 +364,7 @@ impl World {
         self.clusters[ci].unqueue(pid);
         let ends = self.clusters[ci].routing.ends_of(pid);
         for end in ends {
-            self.clusters[ci].routing.primary.remove(&end);
+            self.clusters[ci].routing.remove_primary(&end);
         }
         // Notify every live cluster: "the kernel in the processing unit
         // containing the process's backup is notified and makes the
@@ -385,7 +385,7 @@ impl World {
         let ci = cid.0 as usize;
         let outcome = self.clusters[ci].routing.repair_failed_peer(pid);
         for end in outcome.orphaned {
-            let owner = self.clusters[ci].routing.primary.get(&end).map(|e| e.owner);
+            let owner = self.clusters[ci].routing.primary(&end).map(|e| e.owner);
             if let Some(owner) = owner {
                 self.try_unblock(cid, owner);
             }
@@ -445,7 +445,7 @@ impl World {
 
 /// Suppression helper for tests: how many sends an entry still owes.
 pub fn suppress_budget(c: &Cluster, end: auros_bus::proto::ChanEnd) -> u64 {
-    c.routing.primary.get(&end).map(|e| e.suppress_writes).unwrap_or(0)
+    c.routing.primary(&end).map(|e| e.suppress_writes).unwrap_or(0)
 }
 
 /// Test helper: the fd bound to an end, if any.

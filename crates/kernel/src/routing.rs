@@ -8,7 +8,7 @@
 //! only upon rollforward) and the writes-since-sync count that drives
 //! duplicate-send suppression (§5.4).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use auros_bus::proto::{BackupMode, ChanEnd, ChanKind, ChannelInit};
 use auros_bus::{ClusterId, Message, Pid};
@@ -143,12 +143,28 @@ impl BackupEntry {
 ///
 /// `BTreeMap` rather than `HashMap`: scans (crash handling walks every
 /// entry) must be deterministic.
+///
+/// The maps are private behind accessors so the per-owner index stays
+/// consistent: every insertion and removal goes through a method that
+/// updates both. Sync, fork replay, crash promotion, and exit cleanup
+/// all ask "which ends does `pid` own?" — with the index that is a
+/// lookup instead of an O(channels) scan of the whole cluster's table.
+///
+/// Invariant (checked by [`RoutingTable::verify_owner_index`]):
+/// `primary_by_owner[p]` is exactly the key set `{end | primary[end].owner == p}`,
+/// and likewise for the backup side. Entry owners never change in place
+/// — promotion removes the backup entry and inserts a primary entry —
+/// so handing out `&mut Entry` cannot invalidate the index.
 #[derive(Debug, Default)]
 pub struct RoutingTable {
     /// Live ends whose owner's primary runs in this cluster.
-    pub primary: BTreeMap<ChanEnd, Entry>,
+    primary: BTreeMap<ChanEnd, Entry>,
     /// Saved ends whose owner's backup lives in this cluster.
-    pub backup: BTreeMap<ChanEnd, BackupEntry>,
+    backup: BTreeMap<ChanEnd, BackupEntry>,
+    /// Index: owner pid → live ends it owns.
+    primary_by_owner: BTreeMap<Pid, BTreeSet<ChanEnd>>,
+    /// Index: owner pid → backup ends held for it here.
+    backup_by_owner: BTreeMap<Pid, BTreeSet<ChanEnd>>,
     /// Next arrival sequence number.
     next_arrival: u64,
 }
@@ -176,14 +192,184 @@ impl RoutingTable {
         self.primary.is_empty() && self.backup.is_empty()
     }
 
-    /// All live ends owned by `pid`, in deterministic order.
-    pub fn ends_of(&self, pid: Pid) -> Vec<ChanEnd> {
-        self.primary.iter().filter(|(_, e)| e.owner == pid).map(|(end, _)| *end).collect()
+    fn unindex(ix: &mut BTreeMap<Pid, BTreeSet<ChanEnd>>, owner: Pid, end: ChanEnd) {
+        if let Some(set) = ix.get_mut(&owner) {
+            set.remove(&end);
+            if set.is_empty() {
+                ix.remove(&owner);
+            }
+        }
     }
 
-    /// All backup ends owned by `pid`, in deterministic order.
+    // -- primary side ---------------------------------------------------
+
+    /// The live entry for `end`, if any.
+    pub fn primary(&self, end: &ChanEnd) -> Option<&Entry> {
+        self.primary.get(end)
+    }
+
+    /// Mutable access to the live entry for `end`.
+    pub fn primary_mut(&mut self, end: &ChanEnd) -> Option<&mut Entry> {
+        self.primary.get_mut(end)
+    }
+
+    /// Whether a live entry exists for `end`.
+    pub fn has_primary(&self, end: &ChanEnd) -> bool {
+        self.primary.contains_key(end)
+    }
+
+    /// Inserts (or replaces) the live entry for `end`.
+    pub fn insert_primary(&mut self, end: ChanEnd, entry: Entry) -> Option<Entry> {
+        let owner = entry.owner;
+        let prev = self.primary.insert(end, entry);
+        if let Some(p) = &prev {
+            if p.owner != owner {
+                Self::unindex(&mut self.primary_by_owner, p.owner, end);
+            }
+        }
+        self.primary_by_owner.entry(owner).or_default().insert(end);
+        prev
+    }
+
+    /// Returns the live entry for `end`, creating it with `make` first
+    /// if absent.
+    pub fn primary_or_insert_with(
+        &mut self,
+        end: ChanEnd,
+        make: impl FnOnce() -> Entry,
+    ) -> &mut Entry {
+        if !self.primary.contains_key(&end) {
+            self.insert_primary(end, make());
+        }
+        self.primary.get_mut(&end).expect("just ensured")
+    }
+
+    /// Removes the live entry for `end`.
+    pub fn remove_primary(&mut self, end: &ChanEnd) -> Option<Entry> {
+        let prev = self.primary.remove(end);
+        if let Some(p) = &prev {
+            Self::unindex(&mut self.primary_by_owner, p.owner, *end);
+        }
+        prev
+    }
+
+    /// All live entries, in end order.
+    pub fn primary_iter(&self) -> impl Iterator<Item = (&ChanEnd, &Entry)> {
+        self.primary.iter()
+    }
+
+    /// All live entries, mutably, in end order.
+    pub fn primary_iter_mut(&mut self) -> impl Iterator<Item = (&ChanEnd, &mut Entry)> {
+        self.primary.iter_mut()
+    }
+
+    /// All live entries' values.
+    pub fn primary_values(&self) -> impl Iterator<Item = &Entry> {
+        self.primary.values()
+    }
+
+    // -- backup side ----------------------------------------------------
+
+    /// The backup entry for `end`, if any.
+    pub fn backup(&self, end: &ChanEnd) -> Option<&BackupEntry> {
+        self.backup.get(end)
+    }
+
+    /// Mutable access to the backup entry for `end`.
+    pub fn backup_mut(&mut self, end: &ChanEnd) -> Option<&mut BackupEntry> {
+        self.backup.get_mut(end)
+    }
+
+    /// Whether a backup entry exists for `end`.
+    pub fn has_backup(&self, end: &ChanEnd) -> bool {
+        self.backup.contains_key(end)
+    }
+
+    /// Inserts (or replaces) the backup entry for `end`.
+    pub fn insert_backup(&mut self, end: ChanEnd, entry: BackupEntry) -> Option<BackupEntry> {
+        let owner = entry.owner;
+        let prev = self.backup.insert(end, entry);
+        if let Some(p) = &prev {
+            if p.owner != owner {
+                Self::unindex(&mut self.backup_by_owner, p.owner, end);
+            }
+        }
+        self.backup_by_owner.entry(owner).or_default().insert(end);
+        prev
+    }
+
+    /// Returns the backup entry for `end`, creating it with `make` first
+    /// if absent.
+    pub fn backup_or_insert_with(
+        &mut self,
+        end: ChanEnd,
+        make: impl FnOnce() -> BackupEntry,
+    ) -> &mut BackupEntry {
+        if !self.backup.contains_key(&end) {
+            self.insert_backup(end, make());
+        }
+        self.backup.get_mut(&end).expect("just ensured")
+    }
+
+    /// Removes the backup entry for `end`.
+    pub fn remove_backup(&mut self, end: &ChanEnd) -> Option<BackupEntry> {
+        let prev = self.backup.remove(end);
+        if let Some(p) = &prev {
+            Self::unindex(&mut self.backup_by_owner, p.owner, *end);
+        }
+        prev
+    }
+
+    /// All backup entries, in end order.
+    pub fn backup_iter(&self) -> impl Iterator<Item = (&ChanEnd, &BackupEntry)> {
+        self.backup.iter()
+    }
+
+    /// All backup entries' values, mutably.
+    pub fn backup_values_mut(&mut self) -> impl Iterator<Item = &mut BackupEntry> {
+        self.backup.values_mut()
+    }
+
+    // -- owner index ----------------------------------------------------
+
+    /// All live ends owned by `pid`, in deterministic (end) order.
+    ///
+    /// Index lookup: identical contents and order to the former
+    /// whole-table scan, because `BTreeSet` iterates in key order.
+    pub fn ends_of(&self, pid: Pid) -> Vec<ChanEnd> {
+        self.primary_by_owner.get(&pid).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// All backup ends owned by `pid`, in deterministic (end) order.
     pub fn backup_ends_of(&self, pid: Pid) -> Vec<ChanEnd> {
-        self.backup.iter().filter(|(_, e)| e.owner == pid).map(|(end, _)| *end).collect()
+        self.backup_by_owner.get(&pid).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Checks the owner index against a full recomputation from the
+    /// maps; returns the first divergence found. Used by tests and the
+    /// determinism properties to guard against index/map drift.
+    pub fn verify_owner_index(&self) -> Result<(), String> {
+        let mut want_primary: BTreeMap<Pid, BTreeSet<ChanEnd>> = BTreeMap::new();
+        for (end, e) in &self.primary {
+            want_primary.entry(e.owner).or_default().insert(*end);
+        }
+        if want_primary != self.primary_by_owner {
+            return Err(format!(
+                "primary owner index diverged: recomputed {want_primary:?}, stored {:?}",
+                self.primary_by_owner
+            ));
+        }
+        let mut want_backup: BTreeMap<Pid, BTreeSet<ChanEnd>> = BTreeMap::new();
+        for (end, e) in &self.backup {
+            want_backup.entry(e.owner).or_default().insert(*end);
+        }
+        if want_backup != self.backup_by_owner {
+            return Err(format!(
+                "backup owner index diverged: recomputed {want_backup:?}, stored {:?}",
+                self.backup_by_owner
+            ));
+        }
+        Ok(())
     }
 
     /// Crash-handling step 1 (§7.10.1): replace references to a crashed
@@ -316,7 +502,7 @@ mod tests {
             msg: Message {
                 id: MsgId(seq),
                 src: Pid(2),
-                payload: Payload::Data(vec![]),
+                payload: Payload::Data(Default::default()),
                 nondet: vec![],
             },
         }
@@ -347,11 +533,11 @@ mod tests {
     fn repair_moves_peer_to_backup_cluster() {
         let mut rt = RoutingTable::new();
         let i = init(Pid(1), Some(ClusterId(0)));
-        rt.primary.insert(i.end, Entry::from_init(&i));
+        rt.insert_primary(i.end, Entry::from_init(&i));
         let out = rt.repair_after_crash(ClusterId(0));
         assert_eq!(out.moved, vec![i.end]);
         assert!(out.unusable.is_empty(), "quarterback peers stay usable");
-        let e = &rt.primary[&i.end];
+        let e = rt.primary(&i.end).unwrap();
         assert_eq!(e.peer_primary, Some(ClusterId(2)));
         assert_eq!(e.peer_backup, None, "the promoted peer has no backup yet");
         assert!(e.usable);
@@ -362,10 +548,10 @@ mod tests {
         let mut rt = RoutingTable::new();
         let mut i = init(Pid(1), Some(ClusterId(0)));
         i.peer_mode = auros_bus::proto::BackupMode::Fullback;
-        rt.primary.insert(i.end, Entry::from_init(&i));
+        rt.insert_primary(i.end, Entry::from_init(&i));
         let out = rt.repair_after_crash(ClusterId(0));
         assert_eq!(out.unusable, vec![(i.end, Pid(2))]);
-        assert!(!rt.primary[&i.end].usable);
+        assert!(!rt.primary(&i.end).unwrap().usable);
     }
 
     #[test]
@@ -373,10 +559,10 @@ mod tests {
         let mut rt = RoutingTable::new();
         let mut i = init(Pid(1), Some(ClusterId(0)));
         i.peer_backup = None;
-        rt.primary.insert(i.end, Entry::from_init(&i));
+        rt.insert_primary(i.end, Entry::from_init(&i));
         let out = rt.repair_after_crash(ClusterId(0));
         assert_eq!(out.orphaned, vec![i.end]);
-        let e = &rt.primary[&i.end];
+        let e = rt.primary(&i.end).unwrap();
         assert!(e.peer_closed);
         assert_eq!(e.peer_primary, None);
     }
@@ -385,13 +571,13 @@ mod tests {
     fn repair_clears_dead_backup_references() {
         let mut rt = RoutingTable::new();
         let i = init(Pid(1), Some(ClusterId(3)));
-        rt.primary.insert(i.end, Entry::from_init(&i));
+        rt.insert_primary(i.end, Entry::from_init(&i));
         rt.repair_after_crash(ClusterId(2));
-        let e = &rt.primary[&i.end];
+        let e = rt.primary(&i.end).unwrap();
         assert_eq!(e.peer_primary, Some(ClusterId(3)), "peer primary untouched");
         assert_eq!(e.peer_backup, None);
         rt.repair_after_crash(ClusterId(1));
-        assert_eq!(rt.primary[&i.end].owner_backup, None);
+        assert_eq!(rt.primary(&i.end).unwrap().owner_backup, None);
     }
 
     #[test]
@@ -402,11 +588,41 @@ mod tests {
         i2.end = ChanEnd { channel: ChannelId(10), side: Side::B };
         i2.owner = Pid(7);
         i1.owner = Pid(1);
-        rt.primary.insert(i1.end, Entry::from_init(&i1));
-        rt.primary.insert(i2.end, Entry::from_init(&i2));
+        rt.insert_primary(i1.end, Entry::from_init(&i1));
+        rt.insert_primary(i2.end, Entry::from_init(&i2));
         assert_eq!(rt.ends_of(Pid(1)), vec![i1.end]);
         assert_eq!(rt.ends_of(Pid(7)), vec![i2.end]);
         assert_eq!(rt.len(), 2);
+        rt.verify_owner_index().unwrap();
+    }
+
+    #[test]
+    fn owner_index_survives_insert_remove_and_promotion() {
+        let mut rt = RoutingTable::new();
+        let i = init(Pid(1), Some(ClusterId(0)));
+        // Backup entry appears in the backup index only.
+        rt.insert_backup(i.end, BackupEntry::from_init(&i));
+        assert_eq!(rt.backup_ends_of(Pid(1)), vec![i.end]);
+        assert!(rt.ends_of(Pid(1)).is_empty());
+        rt.verify_owner_index().unwrap();
+        // Promotion: remove from backup, insert as primary (crash path).
+        let be = rt.remove_backup(&i.end).unwrap();
+        rt.insert_primary(i.end, be.promote(None));
+        assert!(rt.backup_ends_of(Pid(1)).is_empty());
+        assert_eq!(rt.ends_of(Pid(1)), vec![i.end]);
+        rt.verify_owner_index().unwrap();
+        // Re-insert under a different owner: old owner must be unindexed.
+        let mut i2 = init(Pid(7), None);
+        i2.end = i.end;
+        rt.insert_primary(i.end, Entry::from_init(&i2));
+        assert!(rt.ends_of(Pid(1)).is_empty());
+        assert_eq!(rt.ends_of(Pid(7)), vec![i.end]);
+        rt.verify_owner_index().unwrap();
+        // Removal clears the index and drops the empty per-owner set.
+        rt.remove_primary(&i.end);
+        assert!(rt.ends_of(Pid(7)).is_empty());
+        assert!(rt.is_empty());
+        rt.verify_owner_index().unwrap();
     }
 
     #[test]
@@ -423,7 +639,7 @@ mod tests {
             msg: Message {
                 id: MsgId(0),
                 src: Pid(1),
-                payload: Payload::Data(vec![1]),
+                payload: Payload::Data(vec![1].into()),
                 nondet: vec![],
             },
         };

@@ -173,7 +173,7 @@ impl<'a> ServerCtx<'a> {
 /// context. Reading `ctx.now` is permitted (the process server *is* the
 /// time authority) but any output derived from it is only consistent
 /// under replay because duplicate sends are suppressed.
-pub trait ServerLogic: std::fmt::Debug {
+pub trait ServerLogic: std::fmt::Debug + Send + Sync {
     /// Short name for traces.
     fn name(&self) -> &'static str;
 
@@ -277,7 +277,7 @@ mod tests {
         let mut logic = Echo { seen: 0 };
         let end = ChanEnd { channel: ChannelId(3), side: Side::B };
         let mut ctx = ServerCtx::new(VTime(10), Pid(9), None);
-        logic.on_message(Pid(1), end, &Payload::Data(vec![1, 2]), &mut ctx);
+        logic.on_message(Pid(1), end, &Payload::Data(vec![1, 2].into()), &mut ctx);
         assert_eq!(logic.seen, 1);
         assert_eq!(ctx.sends.len(), 1);
         assert_eq!(ctx.extra_work, Dur(3));

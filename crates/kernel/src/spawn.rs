@@ -6,7 +6,9 @@
 //! this models system startup; everything after startup goes through
 //! messages.
 
-use auros_bus::proto::{BackupMode, ChanKind, KernelState, ProcessImage, ServiceKind};
+use std::sync::Arc;
+
+use auros_bus::proto::{BackupMode, ChanKind, KernelState, ServiceKind, SharedImage};
 use auros_bus::{ClusterId, Fd, Pid};
 use auros_vm::Program;
 
@@ -69,8 +71,7 @@ impl World {
         self.wire_bootstrap_direct(cluster, pid, backup, mode);
         // Head-of-family backup record, created with the primary (§7.7).
         if let Some(b) = backup {
-            let image: Box<dyn ProcessImage> =
-                Box::new(pcb.machine().expect("user process").snapshot());
+            let image: SharedImage = Arc::new(pcb.machine().expect("user process").snapshot());
             let kstate = KernelState {
                 fds: pcb.fds.iter().map(|(fd, end)| (*fd, *end)).collect(),
                 next_fd: pcb.next_fd,
@@ -82,7 +83,7 @@ impl World {
                     pid,
                     primary_cluster: cluster,
                     image,
-                    kstate,
+                    kstate: Arc::new(kstate),
                     program: Some(program),
                     mode,
                     sync_seq: 0,
@@ -125,14 +126,14 @@ impl World {
         pcb.state = ProcessState::Idle;
         if let Some(b) = backup {
             let ProcessBody::Server(logic) = &pcb.body else { unreachable!() };
-            let image: Box<dyn ProcessImage> = Box::new(ServerImage(logic.clone_image()));
+            let image: SharedImage = Arc::new(ServerImage(logic.clone_image()));
             self.clusters[b.0 as usize].backups.insert(
                 pid,
                 BackupRecord {
                     pid,
                     primary_cluster: cluster,
                     image,
-                    kstate: KernelState::default(),
+                    kstate: Arc::new(KernelState::default()),
                     program: None,
                     mode,
                     sync_seq: 0,
@@ -193,10 +194,10 @@ impl World {
             );
             debug_assert_eq!(a.end, kernel_port_end(cid, slot));
             if force {
-                self.clusters[cid.0 as usize].routing.primary.remove(&a.end);
-                self.clusters[sprimary.0 as usize].routing.primary.remove(&b.end);
+                self.clusters[cid.0 as usize].routing.remove_primary(&a.end);
+                self.clusters[sprimary.0 as usize].routing.remove_primary(&b.end);
                 if let Some(sb) = sbackup {
-                    self.clusters[sb.0 as usize].routing.backup.remove(&b.end);
+                    self.clusters[sb.0 as usize].routing.remove_backup(&b.end);
                 }
             }
             self.create_primary_entry_from_init(cid, &a);

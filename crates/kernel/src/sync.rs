@@ -10,9 +10,11 @@
 //! queue guarantees that any message the primary sends afterwards cannot
 //! be counted at the backup before the sync is processed (§7.8).
 
+use std::sync::Arc;
+
 use auros_bus::proto::{
-    BackupMode, ChanEnd, ChannelInit, Control, KernelState, PagerRequest, Payload, ProcessImage,
-    RebuildInfo, SyncRecord,
+    BackupMode, ChanEnd, ChannelInit, Control, KernelState, PagerRequest, Payload, RebuildInfo,
+    SharedImage, SyncRecord,
 };
 use auros_bus::{ClusterId, DeliveryTag, Message, Pid};
 use auros_sim::TraceCategory;
@@ -121,7 +123,7 @@ impl World {
         self.trace.emit(now, TraceCategory::Sync, Some(cid.0), || {
             format!("{pid} syncs (gen {}) flushing {flushed} pages", record.sync_seq)
         });
-        self.send_control(cid, targets, Payload::Control(Control::Sync(Box::new(record))));
+        self.send_control(cid, targets, Payload::Control(Control::Sync(Arc::new(record))));
 
         let pcb = self.clusters[ci].procs.get_mut(&pid).expect("checked above");
         pcb.reads_since_sync = 0;
@@ -143,7 +145,7 @@ impl World {
         // the former (§5.2).
         let mut reads = Vec::new();
         let mut residual = Vec::new();
-        for (end, e) in self.clusters[ci].routing.primary.iter_mut() {
+        for (end, e) in self.clusters[ci].routing.primary_iter_mut() {
             if e.owner != pid {
                 continue;
             }
@@ -171,9 +173,9 @@ impl World {
             next_fd: pcb.next_fd,
             pending,
         };
-        let image: Box<dyn ProcessImage> = match &pcb.body {
-            ProcessBody::User(m) => Box::new(m.snapshot()),
-            ProcessBody::Server(s) => Box::new(ServerImage(s.clone_image())),
+        let image: SharedImage = match &pcb.body {
+            ProcessBody::User(m) => Arc::new(m.snapshot()),
+            ProcessBody::Server(s) => Arc::new(ServerImage(s.clone_image())),
         };
         let announce = pcb.rebuild_pending;
         let rebuild = if pcb.rebuild_pending || sync_seq == 1 {
@@ -187,7 +189,7 @@ impl World {
             pid,
             sync_seq,
             image,
-            kstate,
+            kstate: Arc::new(kstate),
             reads_since_sync: reads,
             residual_suppress: residual,
             closed,
@@ -210,7 +212,7 @@ impl World {
         let mut channels = Vec::new();
         let mut queues = Vec::new();
         let mut write_counts = Vec::new();
-        for (end, e) in &self.clusters[ci].routing.primary {
+        for (end, e) in self.clusters[ci].routing.primary_iter() {
             if e.owner != pid {
                 continue;
             }
@@ -235,7 +237,14 @@ impl World {
                 write_counts.push((*end, e.suppress_writes));
             }
         }
-        RebuildInfo { announce: false, program, mode: pcb.mode, channels, queues, write_counts }
+        RebuildInfo {
+            announce: false,
+            program,
+            mode: pcb.mode,
+            channels,
+            queues: Arc::new(queues),
+            write_counts,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -277,26 +286,18 @@ impl World {
             for init in &rebuild.channels {
                 self.create_backup_entry_from_init(cid, init);
             }
-            for (end, msgs) in &rebuild.queues {
-                if let Some(be) = self.clusters[ci].routing.backup.get_mut(&end.clone()) {
-                    if be.queue.is_empty() {
-                        for (_, m) in msgs {
-                            let seq = {
-                                let c = &mut self.clusters[ci];
-                                c.routing.stamp()
-                            };
-                            let be = self.clusters[ci]
-                                .routing
-                                .backup
-                                .get_mut(end)
-                                .expect("created above");
-                            be.queue.push_back(Queued { arrival_seq: seq, msg: m.clone() });
-                        }
+            for (end, msgs) in rebuild.queues.iter() {
+                let routing = &mut self.clusters[ci].routing;
+                if routing.backup(end).is_some_and(|be| be.queue.is_empty()) {
+                    for (_, m) in msgs {
+                        let seq = routing.stamp();
+                        let be = routing.backup_mut(end).expect("checked above");
+                        be.queue.push_back(Queued { arrival_seq: seq, msg: m.clone() });
                     }
                 }
             }
             for (end, count) in &rebuild.write_counts {
-                if let Some(be) = self.clusters[ci].routing.backup.get_mut(end) {
+                if let Some(be) = self.clusters[ci].routing.backup_mut(end) {
                     be.writes_since_sync = *count;
                 }
             }
@@ -348,7 +349,7 @@ impl World {
         }
         // Discard messages the primary already read (§5.2).
         for (end, n) in &rec.reads_since_sync {
-            if let Some(be) = self.clusters[ci].routing.backup.get_mut(end) {
+            if let Some(be) = self.clusters[ci].routing.backup_mut(end) {
                 for _ in 0..*n {
                     be.queue.pop_front();
                 }
@@ -356,7 +357,7 @@ impl World {
         }
         // Remove entries for closed channels (§7.8).
         for end in &rec.closed {
-            self.clusters[ci].routing.backup.remove(end);
+            self.clusters[ci].routing.remove_backup(end);
         }
         // Zero the writes-since-sync counts (§5.2) — except residual
         // suppression debt carried through a mid-rollforward sync.
@@ -364,7 +365,7 @@ impl World {
         for end in ends {
             let residual =
                 rec.residual_suppress.iter().find(|(e, _)| *e == end).map(|(_, n)| *n).unwrap_or(0);
-            if let Some(be) = self.clusters[ci].routing.backup.get_mut(&end) {
+            if let Some(be) = self.clusters[ci].routing.backup_mut(&end) {
                 be.writes_since_sync = residual;
             }
         }
@@ -453,7 +454,7 @@ impl World {
             }
         }
         let mut owners_to_poke = Vec::new();
-        for (end, e) in self.clusters[ci].routing.primary.iter_mut() {
+        for (end, e) in self.clusters[ci].routing.primary_iter_mut() {
             if e.peer == Some(pid) {
                 e.peer_backup = Some(backup_at);
                 if !e.usable {
@@ -462,7 +463,7 @@ impl World {
                 }
             }
         }
-        for e in self.clusters[ci].routing.backup.values_mut() {
+        for e in self.clusters[ci].routing.backup_values_mut() {
             if e.peer == Some(pid) {
                 e.peer_backup = Some(backup_at);
             }
@@ -475,8 +476,7 @@ impl World {
         for (src, end, payload) in deferred {
             let peer_is_pid = self.clusters[ci]
                 .routing
-                .primary
-                .get(&end)
+                .primary(&end)
                 .map(|e| e.peer == Some(pid))
                 .unwrap_or(false);
             if peer_is_pid {
@@ -523,11 +523,11 @@ impl World {
         let ci = cid.0 as usize;
         let peer_end = end.peer();
         let mut owner = None;
-        if let Some(e) = self.clusters[ci].routing.primary.get_mut(&peer_end) {
+        if let Some(e) = self.clusters[ci].routing.primary_mut(&peer_end) {
             e.peer_closed = true;
             owner = Some(e.owner);
         }
-        if let Some(be) = self.clusters[ci].routing.backup.get_mut(&peer_end) {
+        if let Some(be) = self.clusters[ci].routing.backup_mut(&peer_end) {
             be.peer_closed = true;
         }
         if let Some(owner) = owner {
@@ -550,7 +550,7 @@ impl World {
         self.clusters[ci].backups.remove(&pid);
         let ends = self.clusters[ci].routing.backup_ends_of(pid);
         for end in ends {
-            self.clusters[ci].routing.backup.remove(&end);
+            self.clusters[ci].routing.remove_backup(&end);
         }
         for birth in self.clusters[ci].births.values_mut() {
             if birth.child == pid {

@@ -214,7 +214,7 @@ impl World {
         // Close every channel end: peers mark the channel dead.
         let ends = self.clusters[ci].routing.ends_of(pid);
         for end in ends {
-            let Some(entry) = self.clusters[ci].routing.primary.remove(&end) else {
+            let Some(entry) = self.clusters[ci].routing.remove_primary(&end) else {
                 continue;
             };
             let mut targets = Vec::new();
@@ -309,8 +309,7 @@ impl World {
                 let c = &self.clusters[ci];
                 let ready = c
                     .routing
-                    .primary
-                    .get(&end)
+                    .primary(&end)
                     .map(|e| !e.queue.is_empty() || e.peer_closed)
                     .unwrap_or(true);
                 if ready {
@@ -335,7 +334,7 @@ impl World {
             }
             BlockState::Unusable { end } => {
                 let usable =
-                    self.clusters[ci].routing.primary.get(&end).map(|e| e.usable).unwrap_or(true);
+                    self.clusters[ci].routing.primary(&end).map(|e| e.usable).unwrap_or(true);
                 if usable {
                     self.wake(cid, pid);
                 }
@@ -354,7 +353,10 @@ impl World {
         if c.procs.get(&pid).is_some_and(|p| p.device_pending) {
             return true;
         }
-        c.routing.primary.values().any(|e| e.owner == pid && !e.queue.is_empty())
+        c.routing
+            .ends_of(pid)
+            .into_iter()
+            .any(|end| c.routing.primary(&end).is_some_and(|e| !e.queue.is_empty()))
     }
 
     /// Consumes the front message of an entry, updating read counts.
@@ -365,7 +367,7 @@ impl World {
         end: auros_bus::proto::ChanEnd,
     ) -> Option<crate::routing::Queued> {
         let ci = cid.0 as usize;
-        let entry = self.clusters[ci].routing.primary.get_mut(&end)?;
+        let entry = self.clusters[ci].routing.primary_mut(&end)?;
         let q = entry.queue.pop_front()?;
         entry.reads_since_sync += 1;
         let now = self.now();
@@ -383,8 +385,7 @@ impl World {
         let fs_end = bootstrap_end(pid, ports::FS);
         let front = self.clusters[ci]
             .routing
-            .primary
-            .get(&fs_end)
+            .primary(&fs_end)
             .and_then(|e| e.queue.front())
             .map(|q| q.msg.payload.clone());
         match front {
@@ -421,14 +422,13 @@ impl World {
         let ci = cid.0 as usize;
         let front = self.clusters[ci]
             .routing
-            .primary
-            .get(&end)
+            .primary(&end)
             .and_then(|e| e.queue.front())
             .map(|q| q.msg.payload.clone());
         let Some(payload) = front else {
             // No reply yet; if the peer is gone the call fails.
             let gone =
-                self.clusters[ci].routing.primary.get(&end).map(|e| e.peer_closed).unwrap_or(true);
+                self.clusters[ci].routing.primary(&end).map(|e| e.peer_closed).unwrap_or(true);
             if gone {
                 self.set_result_and_wake(cid, pid, ERR);
             }
@@ -505,7 +505,7 @@ impl World {
         let mut best: Option<(u64, Fd)> = None;
         for fd in fds {
             let Some(end) = pcb.end_of(*fd) else { continue };
-            let Some(entry) = c.routing.primary.get(&end) else { continue };
+            let Some(entry) = c.routing.primary(&end) else { continue };
             if let Some(front) = entry.queue.front() {
                 if best.map(|(s, _)| front.arrival_seq < s).unwrap_or(true) {
                     best = Some((front.arrival_seq, *fd));
@@ -530,8 +530,7 @@ impl World {
         let ci = cid.0 as usize;
         let is_signal = self.clusters[ci]
             .routing
-            .primary
-            .get(&end)
+            .primary(&end)
             .map(|e| e.kind == ChanKind::Signal)
             .unwrap_or(false);
         if !is_signal {
@@ -545,12 +544,12 @@ impl World {
         }
         // Peek the front signal's disposition.
         let front_sig =
-            self.clusters[ci].routing.primary.get(&end).and_then(|e| e.queue.front()).and_then(
-                |q| match q.msg.payload {
+            self.clusters[ci].routing.primary(&end).and_then(|e| e.queue.front()).and_then(|q| {
+                match q.msg.payload {
                     Payload::Signal(s) => Some(s),
                     _ => None,
-                },
-            );
+                }
+            });
         let Some(sig) = front_sig else { return };
         let pcb = &self.clusters[ci].procs[&owner];
         match pcb.handlers.get(&sig) {
@@ -587,15 +586,13 @@ impl World {
                 return false;
             }
             let sig_end = pcb.signal_end;
-            let front = self.clusters[ci]
-                .routing
-                .primary
-                .get(&sig_end)
-                .and_then(|e| e.queue.front())
-                .and_then(|q| match q.msg.payload {
-                    Payload::Signal(s) => Some(s),
-                    _ => None,
-                });
+            let front =
+                self.clusters[ci].routing.primary(&sig_end).and_then(|e| e.queue.front()).and_then(
+                    |q| match q.msg.payload {
+                        Payload::Signal(s) => Some(s),
+                        _ => None,
+                    },
+                );
             let Some(sig) = front else {
                 return true;
             };
@@ -803,7 +800,7 @@ impl World {
             self.with_machine(cid, pid, |m| m.set_reg(R0, ERR));
             return fixed;
         };
-        let entry = self.clusters[ci].routing.primary.remove(&end);
+        let entry = self.clusters[ci].routing.remove_primary(&end);
         if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
             pcb.fds.remove(&fd);
             pcb.closed_since_sync.push(end);
@@ -834,7 +831,7 @@ impl World {
             self.with_machine(cid, pid, |m| m.set_reg(R0, ERR));
             return fixed;
         };
-        let kind = self.clusters[ci].routing.primary.get(&end).map(|e| e.kind);
+        let kind = self.clusters[ci].routing.primary(&end).map(|e| e.kind);
         match kind {
             Some(ChanKind::ServerPort(ServiceKind::File | ServiceKind::Raw)) => {
                 // File reads are request/reply (§7.5.1).
@@ -857,8 +854,7 @@ impl World {
                 // Queue-consuming read: user channels and terminals.
                 let front = self.clusters[ci]
                     .routing
-                    .primary
-                    .get(&end)
+                    .primary(&end)
                     .and_then(|e| e.queue.front())
                     .map(|q| q.msg.payload.clone());
                 match front {
@@ -893,8 +889,7 @@ impl World {
                     None => {
                         let closed = self.clusters[ci]
                             .routing
-                            .primary
-                            .get(&end)
+                            .primary(&end)
                             .map(|e| e.peer_closed)
                             .unwrap_or(true);
                         if closed {
@@ -939,13 +934,13 @@ impl World {
                 return fixed;
             }
         }
-        let kind = self.clusters[ci].routing.primary.get(&end).map(|e| e.kind);
+        let kind = self.clusters[ci].routing.primary(&end).map(|e| e.kind);
         let copy_cost = self.cfg.costs.copy(len);
         match kind {
             Some(ChanKind::UserUser) | Some(ChanKind::ServerPort(ServiceKind::Tty)) => {
                 // Returns as soon as the message is on the outgoing
                 // queue (§7.5.1).
-                match self.send_on_end(cid, pid, end, Payload::Data(data)) {
+                match self.send_on_end(cid, pid, end, Payload::Data(data.into())) {
                     SendOutcome::Sent | SendOutcome::Suppressed => {
                         self.with_machine(cid, pid, |m| m.set_reg(R0, len as u64));
                     }
@@ -961,7 +956,12 @@ impl World {
             Some(ChanKind::ServerPort(ServiceKind::File | ServiceKind::Raw)) => {
                 // Writes which require an answer from a server cannot
                 // return until that answer arrives (§7.5.1).
-                match self.send_on_end(cid, pid, end, Payload::Fs(FsRequest::FileWrite { data })) {
+                match self.send_on_end(
+                    cid,
+                    pid,
+                    end,
+                    Payload::Fs(FsRequest::FileWrite { data: data.into() }),
+                ) {
                     SendOutcome::Sent | SendOutcome::Suppressed => {
                         self.block(cid, pid, BlockState::WriteReply { end, buf: 0, cap: 0 });
                         self.try_unblock(cid, pid);
@@ -1091,13 +1091,19 @@ impl World {
     pub(crate) fn run_server_step(&mut self, cid: ClusterId, pid: Pid, _worker: usize) -> Dur {
         let ci = cid.0 as usize;
         // Earliest queued message across all owned ends, deterministic.
+        // The owner index narrows this to the server's own ends instead
+        // of scanning the whole cluster table.
         let best = {
             let c = &self.clusters[ci];
             c.routing
-                .primary
-                .iter()
-                .filter(|(_, e)| e.owner == pid)
-                .filter_map(|(end, e)| e.queue.front().map(|q| (q.arrival_seq, *end)))
+                .ends_of(pid)
+                .into_iter()
+                .filter_map(|end| {
+                    c.routing
+                        .primary(&end)
+                        .and_then(|e| e.queue.front())
+                        .map(|q| (q.arrival_seq, end))
+                })
                 .min()
         };
         let base = self.cfg.costs.server_handle;
@@ -1367,7 +1373,7 @@ impl World {
             self.send_control(
                 cid,
                 vec![(b, DeliveryTag::Kernel)],
-                Payload::Control(Control::Birth(Box::new(notice))),
+                Payload::Control(Control::Birth(std::sync::Arc::new(notice))),
             );
         }
         self.wake(cid, child);
@@ -1457,9 +1463,9 @@ impl World {
         // Promote the child's backup entries (queues + write counts).
         let ends = self.clusters[ci].routing.backup_ends_of(child);
         for end in ends {
-            if let Some(be) = self.clusters[ci].routing.backup.remove(&end) {
+            if let Some(be) = self.clusters[ci].routing.remove_backup(&end) {
                 let entry = be.promote(None);
-                self.clusters[ci].routing.primary.insert(end, entry);
+                self.clusters[ci].routing.insert_primary(end, entry);
             }
         }
         self.stats.clusters[ci].promotions += 1;

@@ -439,7 +439,7 @@ impl World {
         {
             self.perform_checkpoint(cid, src);
         }
-        let entry = match self.clusters[ci].routing.primary.get_mut(&end) {
+        let entry = match self.clusters[ci].routing.primary_mut(&end) {
             Some(e) => e,
             None => return SendOutcome::PeerGone,
         };
@@ -673,7 +673,7 @@ impl World {
                 frame.targets.len()
             )
         });
-        for (cid, tag) in frame.targets.clone() {
+        for &(cid, tag) in &frame.targets {
             let ci = cid.0 as usize;
             if !self.clusters[ci].alive {
                 continue;
@@ -699,7 +699,7 @@ impl World {
     fn deliver_primary(&mut self, cid: ClusterId, end: ChanEnd, msg: &Message) {
         let ci = cid.0 as usize;
         let c = &mut self.clusters[ci];
-        let Some(entry) = c.routing.primary.get(&end) else {
+        let Some(entry) = c.routing.primary(&end) else {
             // Peer entry is gone (owner exited or never promoted here).
             return;
         };
@@ -709,7 +709,7 @@ impl World {
             return;
         }
         let seq = c.routing.stamp();
-        let entry = c.routing.primary.get_mut(&end).expect("entry checked above");
+        let entry = c.routing.primary_mut(&end).expect("entry checked above");
         entry.queue.push_back(Queued { arrival_seq: seq, msg: msg.clone() });
         self.stats.clusters[ci].primary_msgs += 1;
         let now = self.now();
@@ -729,9 +729,9 @@ impl World {
             self.create_backup_entry_from_init(cid, init);
         }
         let c = &mut self.clusters[ci];
-        if c.routing.backup.contains_key(&end) {
+        if c.routing.has_backup(&end) {
             let seq = c.routing.stamp();
-            let be = c.routing.backup.get_mut(&end).expect("checked above");
+            let be = c.routing.backup_mut(&end).expect("checked above");
             be.queue.push_back(Queued { arrival_seq: seq, msg: msg.clone() });
             self.stats.clusters[ci].backup_msgs += 1;
             let now = self.now();
@@ -742,7 +742,7 @@ impl World {
         }
         // The backup may have been promoted moments ago (in-flight frame
         // raced the crash): deliver as a live message instead.
-        if c.routing.primary.contains_key(&end) {
+        if c.routing.has_primary(&end) {
             self.deliver_primary(cid, end, msg);
         }
     }
@@ -755,13 +755,13 @@ impl World {
         if !msg.nondet.is_empty() {
             c.nondet_logs.entry(msg.src).or_default().extend(msg.nondet.iter().copied());
         }
-        if let Some(be) = c.routing.backup.get_mut(&end) {
+        if let Some(be) = c.routing.backup_mut(&end) {
             be.writes_since_sync += 1;
             self.stats.clusters[ci].write_counts += 1;
             return;
         }
         // Promoted mid-flight: the count becomes a suppression credit.
-        if let Some(e) = c.routing.primary.get_mut(&end) {
+        if let Some(e) = c.routing.primary_mut(&end) {
             if !auros_bus::proto::is_kernel_pid(e.owner) {
                 e.suppress_writes += 1;
                 self.stats.clusters[ci].write_counts += 1;
@@ -774,7 +774,7 @@ impl World {
     pub(crate) fn create_backup_entry_from_init(&mut self, cid: ClusterId, init: &ChannelInit) {
         let ci = cid.0 as usize;
         let c = &mut self.clusters[ci];
-        c.routing.backup.entry(init.end).or_insert_with(|| BackupEntry::from_init(init));
+        c.routing.backup_or_insert_with(init.end, || BackupEntry::from_init(init));
         let cost = self.cfg.costs.exec_backup_maintenance;
         c.exec_free = c.exec_free.max(self.queue.now()) + cost;
         self.stats.clusters[ci].exec_busy += cost;
@@ -783,7 +783,7 @@ impl World {
     /// Creates a primary routing entry described by `init`.
     pub(crate) fn create_primary_entry_from_init(&mut self, cid: ClusterId, init: &ChannelInit) {
         let c = &mut self.clusters[cid.0 as usize];
-        c.routing.primary.entry(init.end).or_insert_with(|| Entry::from_init(init));
+        c.routing.primary_or_insert_with(init.end, || Entry::from_init(init));
     }
 
     // ------------------------------------------------------------------

@@ -270,14 +270,14 @@ mod tests {
         SyncRecord {
             pid,
             sync_seq: 1,
-            image: Box::new(Snapshot {
+            image: Arc::new(Snapshot {
                 regs: [0; 16],
                 pc: 0,
                 sig_stack: vec![],
                 valid_pages: Default::default(),
                 fuel_used: 0,
             }),
-            kstate: KernelState::default(),
+            kstate: Arc::new(KernelState::default()),
             reads_since_sync: vec![],
             residual_suppress: vec![],
             closed: vec![],
@@ -342,7 +342,7 @@ mod tests {
             &mut store,
             Payload::Pager(PagerRequest::PageOut { pid: Pid(1), page: PageNo(1), data: blob(2) }),
         );
-        drive(&mut s, &mut store, Payload::Control(Control::Sync(Box::new(sync_record(Pid(1))))));
+        drive(&mut s, &mut store, Payload::Control(Control::Sync(Arc::new(sync_record(Pid(1))))));
         // After a sync, only one copy of each page exists (§7.8).
         assert_eq!(s.double_copied_pages(Pid(1)), 0);
         assert_eq!(s.backup_pages(Pid(1)), vec![PageNo(0), PageNo(1)]);
@@ -364,7 +364,7 @@ mod tests {
             &mut store,
             Payload::Pager(PagerRequest::PageOut { pid: Pid(1), page: PageNo(0), data: blob(1) }),
         );
-        drive(&mut s, &mut store, Payload::Control(Control::Sync(Box::new(sync_record(Pid(1))))));
+        drive(&mut s, &mut store, Payload::Control(Control::Sync(Arc::new(sync_record(Pid(1))))));
         // The primary dirties the page again after sync.
         drive(
             &mut s,

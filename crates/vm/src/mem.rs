@@ -174,16 +174,24 @@ impl PagedMemory {
     }
 
     /// Reads `buf.len()` bytes at `addr`.
+    ///
+    /// Copies page-sized runs: one page lookup per page touched, not
+    /// per byte — bulk payload copy-in is the hot path of the message
+    /// fabric.
     pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Access {
         match self.walk(addr, buf.len(), false) {
             Access::Ok => {}
             fault => return fault,
         }
-        for (i, b) in buf.iter_mut().enumerate() {
-            let a = addr + i as u64;
+        let mut done = 0;
+        while done < buf.len() {
+            let a = addr + done as u64;
             let page = PageNo((a / PAGE_SIZE as u64) as u32);
             let off = (a % PAGE_SIZE as u64) as usize;
-            *b = self.resident[&page].data[off];
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            let data = &self.resident[&page].data;
+            buf[done..done + n].copy_from_slice(&data[off..off + n]);
+            done += n;
         }
         Access::Ok
     }
@@ -194,13 +202,16 @@ impl PagedMemory {
             Access::Ok => {}
             fault => return fault,
         }
-        for (i, b) in buf.iter().enumerate() {
-            let a = addr + i as u64;
+        let mut done = 0;
+        while done < buf.len() {
+            let a = addr + done as u64;
             let page = PageNo((a / PAGE_SIZE as u64) as u32);
             let off = (a % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
             let r = self.resident.get_mut(&page).expect("walked page resident");
-            r.data[off] = *b;
+            r.data[off..off + n].copy_from_slice(&buf[done..done + n]);
             r.dirty = true;
+            done += n;
         }
         Access::Ok
     }

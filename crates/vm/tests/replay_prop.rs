@@ -29,7 +29,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| Op::Mul(d, a, b)),
         (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| Op::Xor(d, a, b)),
         (0u16..6000, r.clone()).prop_map(|(addr, src)| Op::Store { addr: addr & !7, src }),
-        (0u16..6000, r.clone()).prop_map(|(addr, dst)| Op::Load { addr: addr & !7, dst }),
+        (0u16..6000, r).prop_map(|(addr, dst)| Op::Load { addr: addr & !7, dst }),
         (1u16..40).prop_map(Op::Compute),
     ]
 }

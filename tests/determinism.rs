@@ -93,6 +93,44 @@ fn run(
     (done, sys.digest())
 }
 
+/// Asserts every cluster's per-owner routing index agrees with a full
+/// recomputation from the maps, and that the indexed `ends_of` /
+/// `backup_ends_of` answers match a brute-force scan, in the same order.
+fn assert_owner_index_consistent(sys: &auros::System) {
+    use std::collections::BTreeSet;
+    for (ci, c) in sys.world.clusters.iter().enumerate() {
+        c.routing
+            .verify_owner_index()
+            .unwrap_or_else(|e| panic!("cluster {ci} owner index diverged: {e}"));
+        let owners: BTreeSet<_> = c
+            .routing
+            .primary_iter()
+            .map(|(_, e)| e.owner)
+            .chain(c.routing.backup_iter().map(|(_, e)| e.owner))
+            .collect();
+        for pid in owners {
+            let scan: Vec<_> = c
+                .routing
+                .primary_iter()
+                .filter(|(_, e)| e.owner == pid)
+                .map(|(end, _)| *end)
+                .collect();
+            assert_eq!(c.routing.ends_of(pid), scan, "cluster {ci}: ends_of({pid:?})");
+            let scan: Vec<_> = c
+                .routing
+                .backup_iter()
+                .filter(|(_, e)| e.owner == pid)
+                .map(|(end, _)| *end)
+                .collect();
+            assert_eq!(
+                c.routing.backup_ends_of(pid),
+                scan,
+                "cluster {ci}: backup_ends_of({pid:?})"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -151,6 +189,42 @@ proptest! {
         let mut sys = b.build();
         prop_assert!(sys.run(DEADLINE), "faulted run must complete");
         prop_assert_eq!(clean.1, sys.digest());
+    }
+
+    /// The routing tables' per-owner index never diverges from the maps,
+    /// even while a crash is moving channels between clusters — checked
+    /// mid-run (during promotion/orphaning) and at the end — and the run
+    /// with the index produces a trace bit-identical to a repeat run.
+    #[test]
+    fn prop_owner_index_matches_scan_across_crashes(
+        jobs in proptest::collection::vec(job_strategy(), 1..4),
+        crash_at in 2_000u64..40_000,
+        victim in 0u16..3,
+    ) {
+        let clusters = 3;
+        let build = || {
+            let mut b = SystemBuilder::new(clusters);
+            b.default_mode(BackupMode::Quarterback);
+            for (i, j) in jobs.iter().enumerate() {
+                j.spawn(i, &mut b, clusters);
+            }
+            b.crash_at(VTime(crash_at), victim);
+            b.build()
+        };
+        let mut sys = build();
+        // Step through the crash window, checking the index while
+        // channels are mid-move (promotions, orphans, rebirths).
+        for step in 0..8u64 {
+            sys.run_until(VTime(crash_at + step * 10_000));
+            assert_owner_index_consistent(&sys);
+        }
+        prop_assert!(sys.run(DEADLINE), "crashed run must complete");
+        assert_owner_index_consistent(&sys);
+        // Identical traces: the index is an accelerator, not a semantic
+        // input — a repeat run must be bit-identical.
+        let mut again = build();
+        prop_assert!(again.run(DEADLINE));
+        prop_assert_eq!(sys.digest(), again.digest());
     }
 
     /// The same, under fullback protection on a larger machine.
