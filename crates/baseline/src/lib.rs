@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The §2 comparator systems.
@@ -105,6 +106,7 @@ pub enum Strategy {
 /// Throughput (transactions per million ticks) of one strategy on `n`
 /// clusters for the standard scalable workload: one bank/client pair per
 /// cluster pair.
+// auros-lint: allow(D4) -- reporting-only ratio: computed from final integer totals after the simulation has ended
 pub fn throughput(strategy: Strategy, n: u16, tx: u64) -> f64 {
     let (sim_clusters, ft) = match strategy {
         Strategy::MessageSystem => (n, FtStrategy::MessageSystem),
@@ -124,6 +126,7 @@ pub fn throughput(strategy: Strategy, n: u16, tx: u64) -> f64 {
     let mut sys = b.build();
     assert!(sys.run(VTime(4_000_000_000)), "throughput workload must complete");
     let total_tx = tx * pairs as u64;
+    // auros-lint: allow(D4) -- reporting-only ratio: computed from final integer totals after the simulation has ended
     total_tx as f64 * 1_000_000.0 / sys.now().ticks() as f64
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Peripheral servers (§7.6, §7.9): the file server, the raw disk

@@ -245,7 +245,15 @@ impl World {
         // Rebuild the body from the stored image.
         let image: &dyn ProcessImage = &*record.image;
         let body = if let Some(snap) = image.as_any().downcast_ref::<auros_vm::Snapshot>() {
-            let program = record.program.clone().expect("user backup has program text");
+            let Some(program) = record.program.clone() else {
+                // A user backup without program text cannot be rebuilt.
+                // Promotion runs while the system is already degraded, so
+                // abandon this process rather than panic mid-recovery.
+                self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
+                    format!("backup of {pid} lacks program text; promotion abandoned")
+                });
+                return;
+            };
             ProcessBody::User(Box::new(Machine::restore(program, snap)))
         } else if let Some(server) = image.as_any().downcast_ref::<ServerImage>() {
             ProcessBody::Server(server.0.clone_image())
@@ -356,8 +364,7 @@ impl World {
         // kernel-side entries are dropped (the backup's saved queues
         // hold everything unread since the last sync). No exit status is
         // recorded — the process is not finished, it is moving.
-        {
-            let pcb = self.clusters[ci].procs.get_mut(&pid).expect("located above");
+        if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
             pcb.state = ProcessState::Killed;
             pcb.run_token += 1;
         }

@@ -159,9 +159,11 @@ impl<'a> ServerCtx<'a> {
     pub fn device_as<T: Any>(&mut self) -> &mut T {
         self.device
             .as_mut()
+            // auros-lint: allow(D5) -- documented panic contract: a missing device is a wiring bug caught at world construction, not a runtime fault
             .expect("server has no attached device")
             .as_any_mut()
             .downcast_mut::<T>()
+            // auros-lint: allow(D5) -- documented panic contract: a mistyped device is a wiring bug caught at world construction, not a runtime fault
             .expect("device type mismatch")
     }
 }

@@ -42,21 +42,23 @@ impl World {
         if pcb.is_dead() {
             return;
         }
-        let backup_cluster = pcb.backup.cluster();
-        if backup_cluster.is_none() || !self.cfg.ft_enabled() {
-            // Unprotected: reset the trigger counters, and commit any
-            // controlled device directly — with no backup there is no
-            // older state worth preserving, and held terminal output
-            // must still reach the user.
-            let pcb = self.clusters[ci].procs.get_mut(&pid).expect("checked above");
-            pcb.reads_since_sync = 0;
-            pcb.fuel_since_sync = 0;
-            if let Some(didx) = self.server_devices.get(&pid).copied() {
-                self.devices[didx].on_owner_sync();
+        let backup_cluster = match pcb.backup.cluster() {
+            Some(b) if self.cfg.ft_enabled() => b,
+            _ => {
+                // Unprotected: reset the trigger counters, and commit any
+                // controlled device directly — with no backup there is no
+                // older state worth preserving, and held terminal output
+                // must still reach the user.
+                if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
+                    pcb.reads_since_sync = 0;
+                    pcb.fuel_since_sync = 0;
+                }
+                if let Some(didx) = self.server_devices.get(&pid).copied() {
+                    self.devices[didx].on_owner_sync();
+                }
+                return;
             }
-            return;
-        }
-        let backup_cluster = backup_cluster.expect("checked above");
+        };
 
         // Force never-synced children first (§7.7).
         let children: Vec<Pid> = self.clusters[ci].procs[&pid]
@@ -81,20 +83,23 @@ impl World {
         // Part one: flush dirty pages through the paging mechanism.
         let mut flushed = 0u64;
         if is_user {
-            let dirty: Vec<(auros_vm::PageNo, auros_bus::proto::PageBlob)> = {
-                let pcb = self.clusters[ci].procs.get_mut(&pid).expect("checked above");
-                let m = pcb.machine_mut().expect("user process");
-                let pages = m.memory_mut().dirty_pages();
-                let blobs = pages
-                    .iter()
-                    .map(|p| {
-                        let data = m.memory().read_page(*p).expect("dirty page resident");
-                        (*p, std::sync::Arc::new(*data))
-                    })
-                    .collect();
-                m.memory_mut().clean_all();
-                blobs
-            };
+            let dirty: Vec<(auros_vm::PageNo, auros_bus::proto::PageBlob)> =
+                match self.clusters[ci].procs.get_mut(&pid).and_then(|pcb| pcb.machine_mut()) {
+                    Some(m) => {
+                        let pages = m.memory_mut().dirty_pages();
+                        let blobs = pages
+                            .iter()
+                            .map(|p| {
+                                // auros-lint: allow(D5) -- invariant: a page listed in dirty_pages() is resident by construction
+                                let data = m.memory().read_page(*p).expect("dirty page resident");
+                                (*p, std::sync::Arc::new(*data))
+                            })
+                            .collect();
+                        m.memory_mut().clean_all();
+                        blobs
+                    }
+                    None => Vec::new(),
+                };
             flushed = dirty.len() as u64;
             for (page, data) in dirty {
                 self.kernel_send_pager(cid, PagerRequest::PageOut { pid, page, data });
@@ -125,13 +130,14 @@ impl World {
         });
         self.send_control(cid, targets, Payload::Control(Control::Sync(Arc::new(record))));
 
-        let pcb = self.clusters[ci].procs.get_mut(&pid).expect("checked above");
-        pcb.reads_since_sync = 0;
-        pcb.fuel_since_sync = 0;
-        pcb.rebuild_pending = false;
-        // §10: the snapshot embodies the effects of every consumed
-        // nondeterministic value; nothing before this point replays.
-        pcb.pending_nondet.clear();
+        if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
+            pcb.reads_since_sync = 0;
+            pcb.fuel_since_sync = 0;
+            pcb.rebuild_pending = false;
+            // §10: the snapshot embodies the effects of every consumed
+            // nondeterministic value; nothing before this point replays.
+            pcb.pending_nondet.clear();
+        }
     }
 
     fn build_sync_record(
@@ -157,6 +163,7 @@ impl World {
                 residual.push((*end, e.suppress_writes));
             }
         }
+        // auros-lint: allow(D5) -- invariant: sole caller perform_sync returns early unless pid is live in this cluster
         let pcb = self.clusters[ci].procs.get_mut(&pid).expect("caller checked");
         pcb.sync_seq += 1;
         let sync_seq = pcb.sync_seq;
@@ -290,9 +297,13 @@ impl World {
                 let routing = &mut self.clusters[ci].routing;
                 if routing.backup(end).is_some_and(|be| be.queue.is_empty()) {
                     for (_, m) in msgs {
+                        // `stamp` needs `&mut` on the whole table, so the
+                        // entry is re-fetched per message; it cannot have
+                        // vanished, but handle it rather than panic.
                         let seq = routing.stamp();
-                        let be = routing.backup_mut(end).expect("checked above");
-                        be.queue.push_back(Queued { arrival_seq: seq, msg: m.clone() });
+                        if let Some(be) = routing.backup_mut(end) {
+                            be.queue.push_back(Queued { arrival_seq: seq, msg: m.clone() });
+                        }
                     }
                 }
             }

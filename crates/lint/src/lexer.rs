@@ -1,0 +1,511 @@
+//! A minimal Rust lexer for the determinism analyzer.
+//!
+//! The analyzer must not depend on `syn` (the build environment is
+//! offline), so this module hand-rolls the small part of Rust's lexical
+//! grammar the rules need: it distinguishes code from comments, string
+//! literals (including raw and byte strings), character literals and
+//! lifetimes, and produces a line-numbered token stream of identifiers,
+//! numbers, and punctuation. Comment text is scanned for lint waivers of
+//! the form:
+//!
+//! ```text
+//! // auros-lint: allow(D5) -- reason the invariant holds here
+//! ```
+//!
+//! A waiver on its own line applies to the next line that carries code; a
+//! trailing waiver applies to its own line. A marker that does not parse
+//! is reported as malformed rather than silently ignored.
+
+/// The marker that introduces a waiver inside a comment.
+pub const WAIVER_MARKER: &str = "auros-lint:";
+
+/// One lexical token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+/// Token kinds. String and comment *contents* never become tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// An integer literal (including hex/octal/binary and suffixed forms).
+    Int,
+    /// A floating-point literal such as `1.0` or `2.5e3`.
+    Float,
+}
+
+/// A parsed waiver comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// The rule name inside `allow(...)`, e.g. `D5`.
+    pub rule: String,
+    /// The mandatory reason after `--`.
+    pub reason: String,
+    /// `true` if the comment is alone on its line (applies to the next
+    /// code line); `false` if it trails code (applies to its own line).
+    pub standalone: bool,
+}
+
+/// Output of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Well-formed waivers found in comments.
+    pub waivers: Vec<Waiver>,
+    /// `(line, why)` for comments that contain the waiver marker but do
+    /// not parse as a waiver.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Lexes `src`, separating code tokens from comments and literals.
+pub fn lex(src: &str) -> LexOutput {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    saw_code_on_line: bool,
+    out: LexOutput,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Lexer {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            saw_code_on_line: false,
+            out: LexOutput::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.saw_code_on_line = false;
+            }
+        }
+        c
+    }
+
+    fn emit(&mut self, line: u32, tok: Tok) {
+        self.saw_code_on_line = true;
+        self.out.tokens.push(Token { line, tok });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body(0);
+                }
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_string(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.emit(line, Tok::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `// ...` to end of line. Scans the text for a waiver marker.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let standalone = !self.saw_code_on_line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.scan_waiver(&text, line, standalone);
+    }
+
+    /// `/* ... */`, nesting-aware. Waiver markers are accepted here too.
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let standalone = !self.saw_code_on_line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.scan_waiver(&text, line, standalone);
+    }
+
+    fn scan_waiver(&mut self, text: &str, line: u32, standalone: bool) {
+        // A waiver must be the entire comment: the marker comes first
+        // (after doc-comment sigils), so prose merely *mentioning*
+        // `auros-lint:` mid-sentence is not a waiver.
+        let trimmed = text.trim_start_matches(['/', '!', ' ', '\t']);
+        if !trimmed.starts_with(WAIVER_MARKER) {
+            return;
+        }
+        let rest = trimmed[WAIVER_MARKER.len()..].trim();
+        match parse_waiver_body(rest) {
+            Ok((rule, reason)) => {
+                self.out.waivers.push(Waiver { line, rule, reason, standalone });
+            }
+            Err(why) => self.out.malformed.push((line, why)),
+        }
+    }
+
+    /// A string literal body after the opening quote, with `hashes`
+    /// trailing `#` required to close (0 for ordinary strings, which also
+    /// honor backslash escapes).
+    fn string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' if hashes == 0 => {
+                    self.bump();
+                }
+                '"' => {
+                    if hashes == 0 {
+                        return;
+                    }
+                    let closed = (0..hashes).all(|k| self.peek(k) == Some('#'));
+                    if closed {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        self.bump(); // the opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: skip the escape, then scan to the
+                // closing quote (covers \', \\, \n, \x41, \u{...}).
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // Identifier-ish: a char literal iff a quote follows it.
+                let mut k = 0;
+                while matches!(self.peek(k), Some(c) if c == '_' || c.is_alphanumeric()) {
+                    k += 1;
+                }
+                let is_char = self.peek(k) == Some('\'');
+                for _ in 0..k {
+                    self.bump();
+                }
+                if is_char {
+                    self.bump();
+                }
+                // Otherwise it was a lifetime: nothing to emit.
+            }
+            Some(_) => {
+                // Punctuation char literal like '{' or '.'.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_ascii_alphanumeric()) {
+            text.push(self.bump().unwrap_or('0'));
+        }
+        let mut float = false;
+        // A `.` makes a float only when a digit follows: `1.0` is a float,
+        // `1.max(2)` is a method call, `0..n` is a range.
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            float = true;
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c == '_' || c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+        }
+        // Exponent form without a dot: `1e9` (but not hex like 0x1e9).
+        if !float && !text.starts_with("0x") && !text.starts_with("0X") {
+            let bytes = text.as_bytes();
+            for (k, b) in bytes.iter().enumerate() {
+                if (*b == b'e' || *b == b'E')
+                    && k + 1 < bytes.len()
+                    && bytes[k + 1..].iter().all(|d| d.is_ascii_digit() || *d == b'_')
+                    && k > 0
+                {
+                    float = true;
+                    break;
+                }
+            }
+        }
+        self.emit(line, if float { Tok::Float } else { Tok::Int });
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            name.push(self.bump().unwrap_or('_'));
+        }
+        // String prefixes: r"..", r#".."#, b"..", br#".."#, c"..".
+        let raw = matches!(name.as_str(), "r" | "br" | "rb" | "cr");
+        let plain_prefix = matches!(name.as_str(), "b" | "c");
+        if raw && matches!(self.peek(0), Some('"') | Some('#')) {
+            let mut hashes = 0;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            if self.peek(0) == Some('"') {
+                self.bump();
+                // Raw strings have no escapes; reuse the hash-closing scan.
+                self.raw_string_body(hashes);
+            }
+            return;
+        }
+        if plain_prefix && self.peek(0) == Some('"') {
+            self.bump();
+            self.string_body(0);
+            return;
+        }
+        self.emit(line, Tok::Ident(name));
+    }
+
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                if hashes == 0 {
+                    return;
+                }
+                let closed = (0..hashes).all(|k| self.peek(k) == Some('#'));
+                if closed {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the part after the `auros-lint:` marker:
+/// `allow(<rule>) -- <reason>`.
+fn parse_waiver_body(rest: &str) -> Result<(String, String), String> {
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>) -- <reason>` after the marker".into());
+    };
+    let Some(close) = body.find(')') else {
+        return Err("unclosed `allow(` in waiver".into());
+    };
+    let rule = body[..close].trim();
+    if rule.is_empty() || rule.contains(',') {
+        return Err("waiver must name exactly one rule".into());
+    }
+    let tail = body[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("waiver is missing the mandatory `-- <reason>`".into());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("waiver reason must not be empty".into());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// Computes the 1-based line ranges (inclusive) covered by `#[cfg(test)]`
+/// items. Code inside those ranges is host-side by definition — unit tests
+/// never run inside the simulation — so the determinism rules skip it.
+pub fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let start_line = tokens[i].line;
+            // Skip past the attribute, then find the item's body brace.
+            let mut j = i + 7;
+            let mut opened = false;
+            let mut depth = 0usize;
+            let mut end_line = start_line;
+            while j < tokens.len() {
+                match &tokens[j].tok {
+                    Tok::Punct('{') => {
+                        opened = true;
+                        depth += 1;
+                    }
+                    Tok::Punct('}') if opened => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = tokens[j].line;
+                            break;
+                        }
+                    }
+                    Tok::Punct(';') if !opened => {
+                        // Body-less item (`#[cfg(test)] use ...;`).
+                        end_line = tokens[j].line;
+                        break;
+                    }
+                    _ => {}
+                }
+                end_line = tokens[j].line;
+                j += 1;
+            }
+            spans.push((start_line, end_line));
+            i = j;
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let want: [&dyn Fn(&Tok) -> bool; 7] = [
+        &|t| *t == Tok::Punct('#'),
+        &|t| *t == Tok::Punct('['),
+        &|t| matches!(t, Tok::Ident(s) if s == "cfg"),
+        &|t| *t == Tok::Punct('('),
+        &|t| matches!(t, Tok::Ident(s) if s == "test"),
+        &|t| *t == Tok::Punct(')'),
+        &|t| *t == Tok::Punct(']'),
+    ];
+    tokens.len() >= i + want.len() && want.iter().enumerate().all(|(k, f)| f(&tokens[i + k].tok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+            // HashMap in a comment is fine
+            /* block HashMap /* nested */ still comment */
+            let s = "HashMap in a string";
+            let r = r#"raw "HashMap" here"#;
+            let b = b"HashMap bytes";
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+        // 'x' is a char literal, not an identifier.
+        assert!(!ids.contains(&"x'".to_string()));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let ids = idents(r"let q = '\''; let n = '\n'; let u = '\u{1F600}'; after()");
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn float_detection() {
+        let toks: Vec<Tok> = lex("1.5 + 2 + 0..9 + x.max(1) + 3e4 + 0x1e9")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
+        let floats = toks.iter().filter(|t| **t == Tok::Float).count();
+        assert_eq!(floats, 2, "1.5 and 3e4 are floats; 0x1e9 and ranges are not: {toks:?}");
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let out = lex(concat!(
+            "let x = m.get(&k).expect(\"held\"); // auros-lint: allow(D5) -- invariant: inserted above\n",
+            "// auros-lint: allow(D1) -- scratch set, never iterated\n",
+            "let s = HashSet::new();\n",
+            "// auros-lint: allow(D1)\n",
+        ));
+        assert_eq!(out.waivers.len(), 2);
+        assert!(!out.waivers[0].standalone);
+        assert_eq!(out.waivers[0].rule, "D5");
+        assert!(out.waivers[1].standalone);
+        assert_eq!(out.malformed.len(), 1, "missing reason is malformed");
+    }
+
+    #[test]
+    fn cfg_test_span_covers_module() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn more() {}\n";
+        let out = lex(src);
+        let spans = cfg_test_spans(&out.tokens);
+        assert_eq!(spans, vec![(2, 5)]);
+    }
+}

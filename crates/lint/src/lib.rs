@@ -1,0 +1,66 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `auros-lint`: a determinism-invariant static analyzer for this
+//! workspace.
+//!
+//! The paper's roll-forward recovery (§6–§7) is correct only if a backup
+//! replaying from its last sync point re-derives the primary's behavior
+//! bit for bit. That property is easy to promise in prose and easy to
+//! break with one `HashMap` iteration or one wall-clock read, so this
+//! crate machine-enforces it: a hand-rolled lexer (no `syn`; the build
+//! environment is offline) walks every workspace `.rs` file and applies
+//! the rule table in [`rules::RULES`] according to each file's
+//! [`rules::CrateClass`].
+//!
+//! Violations can be suppressed — visibly, with a reason the tool counts
+//! and reports — by an inline waiver:
+//!
+//! ```text
+//! // auros-lint: allow(D5) -- invariant: entry inserted two lines above
+//! ```
+//!
+//! Run `cargo run -p auros-lint -- --explain D1` (or any rule id) for the
+//! invariant's full rationale and paper citation.
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use rules::{lint_source, CrateClass, Diagnostic, FileReport, RuleInfo, WaivedSite, RULES};
+
+/// Aggregate result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Files scanned, total.
+    pub files: usize,
+    /// Of those, files in sim-deterministic crates.
+    pub det_files: usize,
+    /// All surviving violations, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// All waived violations with their reasons.
+    pub waived: Vec<WaivedSite>,
+}
+
+/// Lints every `.rs` file under `root` (a workspace checkout).
+pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    for path in walk::collect_rs_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let class = walk::classify(rel);
+        let src = std::fs::read_to_string(&path)?;
+        let label = rel.to_string_lossy().replace('\\', "/");
+        let file_report = lint_source(&label, class, &src);
+        report.files += 1;
+        if class == CrateClass::Deterministic {
+            report.det_files += 1;
+        }
+        report.diagnostics.extend(file_report.diagnostics);
+        report.waived.extend(file_report.waived);
+    }
+    report.diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.waived.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,14 @@
+//! D1 fixture: BTree collections are fine, and mentions of HashMap in
+//! comments or strings ("HashMap is banned") must not trip the lexer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Table {
+    by_owner: BTreeMap<u64, Vec<u32>>,
+    seen: BTreeSet<u64>,
+}
+
+pub fn banner() -> &'static str {
+    // The word HashMap appears here and in the string below; neither is code.
+    "use BTreeMap, not HashMap"
+}

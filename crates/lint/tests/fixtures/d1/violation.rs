@@ -1,0 +1,14 @@
+//! D1 fixture: hash collections in a deterministic crate.
+
+use std::collections::HashMap;
+
+pub struct Table {
+    by_owner: HashMap<u64, Vec<u32>>,
+    seen: std::collections::HashSet<u64>,
+}
+
+impl Table {
+    pub fn new() -> Table {
+        Table { by_owner: HashMap::new(), seen: std::collections::HashSet::new() }
+    }
+}

@@ -1,0 +1,7 @@
+//! D1 fixture: a waived hash set. The set is membership-only and never
+//! iterated, and the waiver records that.
+
+pub struct Dedup {
+    // auros-lint: allow(D1) -- membership-only scratch set, never iterated
+    seen: std::collections::HashSet<u64>,
+}

@@ -1,0 +1,8 @@
+//! D2 fixture: `Duration` is an inert value type and is permitted; all
+//! actual clock reads go through virtual time.
+
+use std::time::Duration;
+
+pub fn tick() -> Duration {
+    Duration::from_micros(1)
+}

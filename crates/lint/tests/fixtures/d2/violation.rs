@@ -1,0 +1,9 @@
+//! D2 fixture: wall-clock time in a deterministic crate.
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    std::time::SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+//! D2 fixture: a waived wall-clock read (e.g. a trace header stamped once
+//! at startup, outside the replayed state).
+
+pub fn trace_header() -> u64 {
+    let t = std::time::SystemTime::now(); // auros-lint: allow(D2) -- startup banner only, never enters sim state
+    let _ = t;
+    0
+}

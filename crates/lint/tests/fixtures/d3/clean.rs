@@ -1,0 +1,10 @@
+//! D3 fixture: seeded randomness and event-queue concurrency are the
+//! sanctioned equivalents. `std::sync::Arc` is fine — sharing is not
+//! scheduling.
+
+use std::sync::Arc;
+
+pub fn run(seed: u64) -> u64 {
+    let rng = Arc::new(seed.wrapping_mul(0x9e3779b97f4a7c15));
+    *rng
+}

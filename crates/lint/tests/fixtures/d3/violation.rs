@@ -1,0 +1,7 @@
+//! D3 fixture: OS threads, channels, and unseeded randomness.
+
+pub fn run() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    std::thread::spawn(move || tx.send(thread_rng().next_u64()));
+    let _ = rx.recv();
+}

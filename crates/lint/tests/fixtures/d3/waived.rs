@@ -1,0 +1,9 @@
+//! D3 fixture: a waived entropy draw (hypothetical one-time seed capture
+//! behind a feature gate).
+
+pub fn capture_seed() -> u64 {
+    // auros-lint: allow(D3) -- feature-gated seed capture; recorded into the trace before use
+    let rng = thread_rng();
+    let _ = rng;
+    0
+}

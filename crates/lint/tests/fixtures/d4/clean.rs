@@ -1,0 +1,10 @@
+//! D4 fixture: integer accounting. Ratios are carried as scaled integers
+//! (parts per million), ranges like `0..10` must not read as floats.
+
+pub fn utilization_ppm(busy: u64, total: u64) -> u64 {
+    busy.saturating_mul(1_000_000) / total.max(1)
+}
+
+pub fn sum() -> u64 {
+    (0..10).map(|i| i * 2).sum()
+}

@@ -1,0 +1,9 @@
+//! D4 fixture: floating point in accounting code.
+
+pub fn utilization(busy: u64, total: u64) -> f64 {
+    busy as f64 / total as f64
+}
+
+pub fn threshold(total: u64) -> u64 {
+    (total as f32 * 0.8) as u64
+}

@@ -1,0 +1,7 @@
+//! D4 fixture: a waived reporting-only ratio computed from final integer
+//! totals, after the simulation has ended.
+
+pub fn report_ratio(tx: u64, ticks: u64) -> f64 { // auros-lint: allow(D4) -- reporting-only ratio over final totals
+    // auros-lint: allow(D4) -- reporting-only ratio over final totals
+    tx as f64 * 1_000_000.0 / ticks as f64
+}

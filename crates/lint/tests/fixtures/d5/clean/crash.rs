@@ -1,0 +1,20 @@
+//! D5 fixture: the same logic with the failure cases handled. Unit tests
+//! may unwrap freely — `#[cfg(test)]` code is host-side.
+
+pub fn promote(backups: &mut std::collections::BTreeMap<u64, Vec<u8>>, pid: u64) -> Option<Vec<u8>> {
+    let image = backups.remove(&pid)?;
+    if image.is_empty() {
+        return None;
+    }
+    Some(image)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(1u64, vec![7u8]);
+        assert_eq!(super::promote(&mut m, 1).unwrap(), vec![7]);
+    }
+}

@@ -1,0 +1,8 @@
+//! D5 fixture: panicking accessors on a fault-handling path.
+
+pub fn promote(backups: &mut std::collections::BTreeMap<u64, Vec<u8>>, pid: u64) -> Vec<u8> {
+    let image = backups.remove(&pid).unwrap();
+    let first = image.first().copied().expect("image nonempty");
+    let _ = first;
+    image
+}

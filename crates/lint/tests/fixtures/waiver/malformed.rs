@@ -1,0 +1,17 @@
+//! W0 fixture: waiver markers that do not parse. Each of these is a
+//! documentation bug the tool must surface rather than silently ignore.
+
+pub fn a() {
+    let x = 1; // auros-lint: allow(D5)
+    let _ = x;
+}
+
+pub fn b() {
+    let y = 2; // auros-lint: allow(D5) --
+    let _ = y;
+}
+
+pub fn c() {
+    let z = 3; // auros-lint: allow() -- no rule named
+    let _ = z;
+}

@@ -1,0 +1,8 @@
+//! W1 fixture: a well-formed waiver whose target line has no matching
+//! violation (the offending code was removed but the waiver stayed).
+
+pub fn clean() -> u64 {
+    // auros-lint: allow(D1) -- stale: the scratch set this excused is gone
+    let x = 41;
+    x + 1
+}

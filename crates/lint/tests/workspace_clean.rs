@@ -1,0 +1,73 @@
+//! Tier-1 integration test: the real workspace is lint-clean, and the
+//! CLI's exit codes behave as CI relies on them to.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().expect("workspace root exists")
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let report = auros_lint::lint_workspace(&workspace_root()).expect("walk workspace");
+    assert!(report.det_files > 30, "walker should find the sim crates, saw {}", report.det_files);
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has determinism violations:\n{}",
+        report.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    // The waivers that do exist all carry reasons (the parser enforces
+    // this, but assert it where CI can see the contract).
+    assert!(report.waived.iter().all(|w| !w.reason.trim().is_empty()));
+}
+
+fn run_cli(args: &[&str], cwd: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_auros-lint"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("run auros-lint")
+}
+
+#[test]
+fn cli_deny_exits_zero_on_workspace() {
+    let root = workspace_root();
+    let out = run_cli(&["--deny"], &root);
+    assert!(
+        out.status.success(),
+        "--deny on the workspace must pass:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cli_deny_exits_nonzero_on_each_violation_fixture() {
+    let root = workspace_root();
+    let fixtures = root.join("crates/lint/tests/fixtures");
+    for rel in [
+        "d1/violation.rs",
+        "d2/violation.rs",
+        "d3/violation.rs",
+        "d4/violation.rs",
+        "d5/violation/crash.rs",
+    ] {
+        let path = fixtures.join(rel);
+        let out = run_cli(&["--deny", "--class", "det", path.to_str().expect("utf8 path")], &root);
+        assert!(!out.status.success(), "{rel} must fail under --deny");
+    }
+}
+
+#[test]
+fn cli_explain_documents_every_rule() {
+    let root = workspace_root();
+    for rule in auros_lint::RULES {
+        let out = run_cli(&["--explain", rule.id], &root);
+        assert!(out.status.success(), "--explain {} failed", rule.id);
+        assert!(!out.stdout.is_empty());
+    }
+    let out = run_cli(&["--explain", "D99"], &root);
+    assert!(!out.status.success(), "unknown rule must be an error");
+}

@@ -7,7 +7,7 @@
 //! anywhere in the dispatch path.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::VTime;
 
@@ -73,7 +73,9 @@ pub struct EventQueue<E> {
     now: VTime,
     /// Sequence numbers of scheduled-but-not-yet-fired events. Cancellation
     /// is lazy: a cancelled entry stays in the heap and is skipped on pop.
-    pending: std::collections::HashSet<u64>,
+    /// `BTreeSet` per the workspace determinism rule (auros-lint D1) —
+    /// membership-only today, but nothing here may invite hasher order.
+    pending: BTreeSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -89,7 +91,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: VTime::ZERO,
-            pending: std::collections::HashSet::new(),
+            pending: BTreeSet::new(),
         }
     }
 

@@ -19,21 +19,22 @@
 //! assert_eq!(program.len(), 5);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::inst::{Inst, Program, Reg, Sys};
 
 /// A branch target; create with [`ProgramBuilder::new_label`] or
 /// [`ProgramBuilder::here`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Label(u32);
 
 /// Incrementally builds a [`Program`].
 pub struct ProgramBuilder {
     name: String,
     insts: Vec<Inst>,
-    /// Bound label -> instruction index.
-    bound: HashMap<Label, u32>,
+    /// Bound label -> instruction index. `BTreeMap` per the workspace
+    /// determinism rule (auros-lint D1), though only point lookups occur.
+    bound: BTreeMap<Label, u32>,
     /// Instructions whose branch target is an unbound label.
     fixups: Vec<(usize, Label)>,
     next_label: u32,
@@ -45,7 +46,7 @@ impl ProgramBuilder {
         ProgramBuilder {
             name: name.into(),
             insts: Vec::new(),
-            bound: HashMap::new(),
+            bound: BTreeMap::new(),
             fixups: Vec::new(),
             next_label: 0,
         }
