@@ -63,10 +63,30 @@ pub struct Frame {
     pub targets: Vec<(ClusterId, DeliveryTag)>,
     /// The message carried.
     pub msg: Message,
+    /// Per-(sender, destination) link sequence numbers, parallel to
+    /// `targets`; assigned by [`Frame::seal`] just before transmission.
+    /// Empty until sealed.
+    pub seqs: Vec<u64>,
+    /// Header checksum set by [`Frame::seal`]; zero means unsealed.
+    /// Covers identity, routing, and sequencing — the fields a mangled
+    /// wire transfer would scramble.
+    pub checksum: u64,
 }
 
 impl Frame {
+    /// A fresh, unsealed frame.
+    pub fn new(
+        src_cluster: ClusterId,
+        targets: Vec<(ClusterId, DeliveryTag)>,
+        msg: Message,
+    ) -> Frame {
+        Frame { src_cluster, targets, msg, seqs: Vec::new(), checksum: 0 }
+    }
+
     /// Approximate size on the wire.
+    ///
+    /// The checksum and sequence numbers model header bits the hardware
+    /// already transfers; they do not change the cost model.
     pub fn wire_size(&self) -> usize {
         8 + self.targets.len() * 8 + self.msg.wire_size()
     }
@@ -83,7 +103,87 @@ impl Frame {
         if primaries > 1 {
             return Err(format!("frame has {primaries} primary destinations"));
         }
+        if !self.seqs.is_empty() && self.seqs.len() != self.targets.len() {
+            return Err(format!(
+                "sealed frame has {} seqs for {} targets",
+                self.seqs.len(),
+                self.targets.len()
+            ));
+        }
         Ok(())
+    }
+
+    /// Stamps the frame with its link sequence numbers and computes the
+    /// header checksum. Called once, at transmission time, after the
+    /// final target set is known.
+    pub fn seal(&mut self, seqs: Vec<u64>) {
+        debug_assert_eq!(seqs.len(), self.targets.len());
+        self.seqs = seqs;
+        let sum = self.compute_checksum();
+        // Zero is reserved for "unsealed"; remap so a sealed frame always
+        // carries a nonzero checksum.
+        self.checksum = if sum == 0 { 1 } else { sum };
+    }
+
+    /// Receiver-side integrity check. Unsealed frames (checksum zero, as
+    /// built by unit tests that bypass the wire) are vacuously valid.
+    pub fn verify(&self) -> bool {
+        if self.checksum == 0 {
+            return true;
+        }
+        let sum = self.compute_checksum();
+        self.checksum == if sum == 0 { 1 } else { sum }
+    }
+
+    /// Marks the frame as damaged in transit (fault injection only):
+    /// [`Frame::verify`] is guaranteed to fail afterwards.
+    pub fn corrupt(&mut self) {
+        self.checksum ^= 0x5A5A_5A5A_5A5A_5A5A;
+        if self.checksum == 0 || self.verify() {
+            self.checksum = self.checksum.wrapping_add(1).max(2);
+        }
+    }
+
+    /// FNV-1a over the header fields, allocation-free (the payload body
+    /// contributes only its length: the simulated wire mangles headers
+    /// and the cost model charges for bytes, but payload storage is
+    /// shared and must not be walked per transmission).
+    fn compute_checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for shift in [0u32, 16, 32, 48] {
+                h ^= (v >> shift) & 0xffff;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.src_cluster.0 as u64);
+        mix(self.msg.id.0);
+        mix(self.msg.src.0);
+        mix(self.msg.payload.wire_size() as u64);
+        for &n in &self.msg.nondet {
+            mix(n);
+        }
+        for (i, (cid, tag)) in self.targets.iter().enumerate() {
+            let (code, end) = match tag {
+                DeliveryTag::Primary(e) => (1u64, Some(e)),
+                DeliveryTag::DestBackup(e) => (2, Some(e)),
+                DeliveryTag::SenderBackup(e) => (3, Some(e)),
+                DeliveryTag::Kernel => (4, None),
+            };
+            mix(cid.0 as u64);
+            mix(code);
+            if let Some(e) = end {
+                mix(e.channel.0);
+                mix(match e.side {
+                    crate::proto::Side::A => 0,
+                    crate::proto::Side::B => 1,
+                });
+            }
+            mix(self.seqs.get(i).copied().unwrap_or(0));
+        }
+        h
     }
 }
 
@@ -105,25 +205,85 @@ mod tests {
             payload: Payload::Data(SharedBytes::empty()),
             nondet: vec![],
         };
-        let bad = Frame {
-            src_cluster: ClusterId(0),
-            targets: vec![
+        let bad = Frame::new(
+            ClusterId(0),
+            vec![
                 (ClusterId(1), DeliveryTag::Primary(end())),
                 (ClusterId(2), DeliveryTag::Primary(end())),
             ],
-            msg: msg.clone(),
-        };
+            msg.clone(),
+        );
         assert!(bad.check_invariants().is_err());
-        let good = Frame {
-            src_cluster: ClusterId(0),
-            targets: vec![
+        let good = Frame::new(
+            ClusterId(0),
+            vec![
                 (ClusterId(1), DeliveryTag::Primary(end())),
                 (ClusterId(2), DeliveryTag::DestBackup(end())),
                 (ClusterId(0), DeliveryTag::SenderBackup(end())),
             ],
             msg,
-        };
+        );
         assert!(good.check_invariants().is_ok());
+    }
+
+    fn sealed() -> Frame {
+        let msg = Message {
+            id: MsgId(7),
+            src: Pid(3),
+            payload: Payload::Data(vec![1, 2, 3].into()),
+            nondet: vec![42],
+        };
+        let mut f = Frame::new(
+            ClusterId(0),
+            vec![
+                (ClusterId(1), DeliveryTag::Primary(end())),
+                (ClusterId(2), DeliveryTag::DestBackup(end())),
+            ],
+            msg,
+        );
+        f.seal(vec![10, 11]);
+        f
+    }
+
+    #[test]
+    fn seal_then_verify_round_trips() {
+        let f = sealed();
+        assert_ne!(f.checksum, 0, "sealed frames carry a nonzero checksum");
+        assert!(f.verify());
+        assert!(f.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn corruption_is_always_caught() {
+        let mut f = sealed();
+        f.corrupt();
+        assert!(!f.verify(), "a corrupted frame must fail verification");
+    }
+
+    #[test]
+    fn checksum_covers_sequencing_and_routing() {
+        let a = sealed();
+        let mut b = sealed();
+        b.seqs[0] += 1;
+        assert_ne!(a.compute_checksum(), b.compute_checksum(), "seq change alters checksum");
+        let mut c = sealed();
+        c.targets[0].0 = ClusterId(3);
+        assert_ne!(a.compute_checksum(), c.compute_checksum(), "target change alters checksum");
+    }
+
+    #[test]
+    fn seal_does_not_change_wire_size() {
+        let msg = Message {
+            id: MsgId(7),
+            src: Pid(3),
+            payload: Payload::Data(vec![0; 64].into()),
+            nondet: vec![],
+        };
+        let mut f =
+            Frame::new(ClusterId(0), vec![(ClusterId(1), DeliveryTag::Primary(end()))], msg);
+        let before = f.wire_size();
+        f.seal(vec![0]);
+        assert_eq!(f.wire_size(), before, "checksum/seqs are header bits, not billed bytes");
     }
 
     #[test]

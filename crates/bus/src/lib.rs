@@ -24,11 +24,13 @@
 pub mod bytes;
 pub mod frame;
 pub mod ids;
+pub mod link;
 pub mod proto;
 pub mod schedule;
 
 pub use bytes::{payload_allocs, SharedBytes};
 pub use frame::{DeliveryTag, Frame, Message, MsgId};
 pub use ids::{ChannelName, ClusterId, EntryId, Fd, Pid, Sig};
+pub use link::{FrameClass, LinkLedger};
 pub use proto::Payload;
-pub use schedule::{BusKind, BusSchedule};
+pub use schedule::{BusKind, BusSchedule, Reservation, WireFault};

@@ -1,0 +1,209 @@
+//! Link-level sequencing: duplicate suppression and FIFO restoration.
+//!
+//! §5.1/§7.4.2 assume the hardware bus delivers every frame exactly
+//! once, in transmission order. A lossy wire with retransmission breaks
+//! both assumptions *below* the abstraction: a retransmitted frame may
+//! arrive twice, and a delayed frame may arrive after its successors.
+//! The [`LinkLedger`] re-earns the abstraction: each (sender cluster,
+//! destination cluster) link carries a monotonically increasing sequence
+//! number, and the receiver delivers a frame only when every live target
+//! is seeing exactly the sequence number it expects next. Frames behind
+//! a gap are held; frames already consumed are suppressed. Because a
+//! frame is classified *as a whole* (all targets agree or none deliver),
+//! the all-or-none and non-interleaving invariants survive the faults.
+
+use std::collections::BTreeMap;
+
+/// Receiver verdict for an arriving frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameClass {
+    /// Every live target expects exactly these sequence numbers: deliver.
+    Ready,
+    /// Every live target has already consumed these sequence numbers: a
+    /// retransmission or wire duplicate; suppress.
+    Duplicate,
+    /// Some live target has a gap before these sequence numbers: hold
+    /// until the missing frame arrives (or is abandoned).
+    Hold,
+}
+
+/// Per-link sequence bookkeeping, keyed by (sender, destination) cluster.
+#[derive(Debug, Default)]
+pub struct LinkLedger {
+    /// Next sequence number to assign on each link (sender side).
+    tx: BTreeMap<(u16, u16), u64>,
+    /// Next sequence number expected on each link (receiver side).
+    expected: BTreeMap<(u16, u16), u64>,
+}
+
+impl LinkLedger {
+    /// Assigns sequence numbers for a frame from `src` to the given
+    /// destination clusters, in header order. A destination that appears
+    /// twice in one frame receives consecutive numbers.
+    pub fn stamp(&mut self, src: u16, dests: impl Iterator<Item = u16>) -> Vec<u64> {
+        dests
+            .map(|dst| {
+                let next = self.tx.entry((src, dst)).or_insert(0);
+                let seq = *next;
+                *next += 1;
+                seq
+            })
+            .collect()
+    }
+
+    /// Classifies an arriving frame given its `(destination, seq)` pairs.
+    /// Only targets for which `live` holds participate: a dead cluster
+    /// can neither demand in-order delivery nor veto it. An empty pair
+    /// list (or an all-dead target set) is `Ready`: the delivery loop
+    /// will skip the dead targets itself.
+    pub fn classify(
+        &self,
+        src: u16,
+        pairs: &[(u16, u64)],
+        mut live: impl FnMut(u16) -> bool,
+    ) -> FrameClass {
+        // A frame can address the same destination twice; simulate
+        // sequential consumption with per-destination offsets.
+        let mut offset: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut dup = 0usize;
+        let mut considered = 0usize;
+        for &(dst, seq) in pairs {
+            let off = offset.entry(dst).or_insert(0);
+            let expected = self.expected.get(&(src, dst)).copied().unwrap_or(0) + *off;
+            *off += 1;
+            if !live(dst) {
+                continue;
+            }
+            considered += 1;
+            if seq > expected {
+                return FrameClass::Hold;
+            }
+            if seq < expected {
+                dup += 1;
+            }
+        }
+        if considered > 0 && dup == considered {
+            FrameClass::Duplicate
+        } else {
+            FrameClass::Ready
+        }
+    }
+
+    /// Records a frame as consumed: each link's expectation advances past
+    /// the frame's sequence numbers (dead targets included, so a later
+    /// restore does not stall on frames it never needed).
+    pub fn advance(&mut self, src: u16, pairs: &[(u16, u64)]) {
+        for &(dst, seq) in pairs {
+            let e = self.expected.entry((src, dst)).or_insert(0);
+            *e = (*e).max(seq + 1);
+        }
+    }
+
+    /// Consumes a frame *without* delivery — it was lost for good
+    /// (abandoned retransmission, double bus failure, source crashed
+    /// before transmission). Advancing the expectation keeps the loss
+    /// from stalling every later frame on the same links.
+    pub fn skip(&mut self, src: u16, pairs: &[(u16, u64)]) {
+        self.advance(src, pairs);
+    }
+
+    /// Re-aligns every link into `dst` with the sender side, as part of
+    /// cluster restore: the rebuilt cluster has no delivery history, so
+    /// it expects only traffic stamped from now on.
+    pub fn resync_into(&mut self, dst: u16) {
+        for (&(s, d), &tx) in &self.tx {
+            if d == dst {
+                self.expected.insert((s, d), tx);
+            }
+        }
+    }
+
+    /// Next expected sequence on one link (receiver view); for tests.
+    pub fn next_expected(&self, src: u16, dst: u16) -> u64 {
+        self.expected.get(&(src, dst)).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_live(_: u16) -> bool {
+        true
+    }
+
+    #[test]
+    fn in_order_frames_are_ready() {
+        let mut l = LinkLedger::default();
+        let s0 = l.stamp(0, [1u16, 2].into_iter());
+        let s1 = l.stamp(0, [1u16, 2].into_iter());
+        assert_eq!(s0, vec![0, 0]);
+        assert_eq!(s1, vec![1, 1]);
+        let p0 = [(1u16, 0u64), (2, 0)];
+        assert_eq!(l.classify(0, &p0, all_live), FrameClass::Ready);
+        l.advance(0, &p0);
+        let p1 = [(1u16, 1u64), (2, 1)];
+        assert_eq!(l.classify(0, &p1, all_live), FrameClass::Ready);
+    }
+
+    #[test]
+    fn gap_holds_and_old_frames_suppress() {
+        let mut l = LinkLedger::default();
+        l.stamp(0, [1u16].into_iter());
+        l.stamp(0, [1u16].into_iter());
+        assert_eq!(l.classify(0, &[(1, 1)], all_live), FrameClass::Hold, "seq 1 before seq 0");
+        l.advance(0, &[(1, 0)]);
+        l.advance(0, &[(1, 1)]);
+        assert_eq!(l.classify(0, &[(1, 0)], all_live), FrameClass::Duplicate);
+        assert_eq!(l.classify(0, &[(1, 1)], all_live), FrameClass::Duplicate);
+    }
+
+    #[test]
+    fn dead_targets_neither_demand_nor_veto() {
+        let mut l = LinkLedger::default();
+        l.stamp(0, [1u16, 2].into_iter());
+        l.stamp(0, [1u16, 2].into_iter());
+        // Frame 1 arrives first; cluster 1 is dead, cluster 2 has a gap.
+        let live = |c: u16| c != 1;
+        assert_eq!(l.classify(0, &[(1, 1), (2, 1)], live), FrameClass::Hold);
+        // Once the gap closes on the live target, the dead one is moot.
+        l.advance(0, &[(1, 0), (2, 0)]);
+        assert_eq!(l.classify(0, &[(1, 1), (2, 1)], live), FrameClass::Ready);
+    }
+
+    #[test]
+    fn repeated_destination_gets_consecutive_seqs() {
+        let mut l = LinkLedger::default();
+        let s = l.stamp(0, [1u16, 1].into_iter());
+        assert_eq!(s, vec![0, 1]);
+        let pairs = [(1u16, 0u64), (1, 1)];
+        assert_eq!(l.classify(0, &pairs, all_live), FrameClass::Ready);
+        l.advance(0, &pairs);
+        assert_eq!(l.classify(0, &pairs, all_live), FrameClass::Duplicate);
+        assert_eq!(l.next_expected(0, 1), 2);
+    }
+
+    #[test]
+    fn skip_unblocks_later_frames() {
+        let mut l = LinkLedger::default();
+        l.stamp(0, [1u16].into_iter());
+        l.stamp(0, [1u16].into_iter());
+        assert_eq!(l.classify(0, &[(1, 1)], all_live), FrameClass::Hold);
+        l.skip(0, &[(1, 0)]);
+        assert_eq!(l.classify(0, &[(1, 1)], all_live), FrameClass::Ready);
+    }
+
+    #[test]
+    fn resync_into_forgives_lost_history() {
+        let mut l = LinkLedger::default();
+        l.stamp(0, [1u16].into_iter());
+        l.stamp(0, [1u16].into_iter());
+        l.stamp(2, [1u16].into_iter());
+        l.resync_into(1);
+        assert_eq!(l.next_expected(0, 1), 2);
+        assert_eq!(l.next_expected(2, 1), 1);
+        assert_eq!(l.classify(0, &[(1, 0)], all_live), FrameClass::Duplicate);
+        let s = l.stamp(0, [1u16].into_iter());
+        assert_eq!(l.classify(0, &[(1, s[0])], all_live), FrameClass::Ready);
+    }
+}

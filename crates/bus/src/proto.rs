@@ -390,6 +390,15 @@ pub enum Control {
         /// The finished process.
         pid: Pid,
     },
+    /// Backpressure (§5.2's message-count trigger, driven from the
+    /// backup side): the cluster holding `pid`'s backup message queue
+    /// reports the queue near its configured bound. The primary's
+    /// kernel must synchronize `pid` now, trimming the queue, instead
+    /// of letting sustained wire faults grow it without limit.
+    SyncDemand {
+        /// The process whose backup queue is near its bound.
+        pid: Pid,
+    },
     /// §10 extension: a hardware failure killed this process *without*
     /// bringing its cluster down. Receivers repair their routing entries
     /// toward the backup, and the backup's cluster promotes it.
@@ -681,6 +690,7 @@ impl Payload {
             Payload::Control(Control::CreatePort { .. }) => 40,
             Payload::Control(Control::ChannelClosed { .. }) => 12,
             Payload::Control(Control::Exited { .. }) => 10,
+            Payload::Control(Control::SyncDemand { .. }) => 10,
             Payload::Control(Control::ProcessFailed { .. }) => 12,
         }
     }

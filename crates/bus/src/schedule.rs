@@ -24,14 +24,56 @@ pub enum BusKind {
 }
 
 /// Per-bus traffic counters.
+///
+/// A frame is counted in `frames`/`bytes` exactly once — on its first
+/// transmission. Every re-transmission of the same frame (failover or
+/// protocol retry) is counted in `retries` instead, so delivered-traffic
+/// figures are not inflated by the recovery machinery.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BusCounters {
-    /// Frames transmitted.
+    /// Distinct frames transmitted (first attempts only).
     pub frames: u64,
-    /// Payload bytes carried.
+    /// Payload bytes carried by first attempts.
     pub bytes: u64,
-    /// Ticks the bus spent transmitting.
+    /// Ticks the bus spent transmitting (all attempts).
     pub busy: u64,
+    /// Re-transmission windows granted (failover or protocol retry).
+    pub retries: u64,
+}
+
+/// A transient fault the wire inflicts on one transmission window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireFault {
+    /// The frame vanishes: no target receives it.
+    Drop,
+    /// The frame arrives with a mangled header; receiver checksums
+    /// catch it.
+    Corrupt,
+    /// The frame arrives twice.
+    Duplicate,
+    /// The frame arrives late by the given extra ticks.
+    Delay(Dur),
+}
+
+/// An exclusive transmission window granted by [`BusSchedule::reserve`].
+#[derive(Clone, Copy, Debug)]
+pub struct Reservation {
+    /// When transmission begins.
+    pub start: VTime,
+    /// When the frame reaches all targets (absent faults).
+    pub deliver_at: VTime,
+    /// The bus that carries this window.
+    pub bus: BusKind,
+    /// A transient fault injected into this window, if any.
+    pub fault: Option<WireFault>,
+}
+
+/// A window during which one bus mangles every frame it carries.
+#[derive(Clone, Copy, Debug)]
+struct FlakyWindow {
+    from: VTime,
+    until: VTime,
+    bus: BusKind,
 }
 
 /// The transmission schedule of the (dual) intercluster bus.
@@ -44,6 +86,20 @@ pub struct BusSchedule {
     /// Whether each bus has failed (injected faults).
     a_failed: bool,
     b_failed: bool,
+    /// One-shot armed faults: the first window starting at or after the
+    /// arm time absorbs the fault. Kept sorted by arm time.
+    armed: Vec<(VTime, WireFault)>,
+    /// Sustained flaky windows (deterministic per-bus fault storms).
+    flaky: Vec<FlakyWindow>,
+    /// Cycles the fault kind injected inside flaky windows.
+    flaky_seq: u64,
+    /// Quarantine flags: the bus is healthy hardware-wise but has been
+    /// benched by the kernel after repeated wire faults.
+    a_quarantined: bool,
+    b_quarantined: bool,
+    /// Consecutive faulted windows per bus (reset by a clean window).
+    a_consecutive_faults: u32,
+    b_consecutive_faults: u32,
 }
 
 impl Default for BusSchedule {
@@ -62,6 +118,27 @@ impl BusSchedule {
             b: BusCounters::default(),
             a_failed: false,
             b_failed: false,
+            armed: Vec::new(),
+            flaky: Vec::new(),
+            flaky_seq: 0,
+            a_quarantined: false,
+            b_quarantined: false,
+            a_consecutive_faults: 0,
+            b_consecutive_faults: 0,
+        }
+    }
+
+    fn failed(&self, bus: BusKind) -> bool {
+        match bus {
+            BusKind::A => self.a_failed,
+            BusKind::B => self.b_failed,
+        }
+    }
+
+    fn other(bus: BusKind) -> BusKind {
+        match bus {
+            BusKind::A => BusKind::B,
+            BusKind::B => BusKind::A,
         }
     }
 
@@ -85,8 +162,13 @@ impl BusSchedule {
             BusKind::A => self.a_failed = true,
             BusKind::B => self.b_failed = true,
         }
+        // A failed bus needs no quarantine, and stops being probed.
+        self.set_quarantined(bus, false);
         if let Some(next) = self.active() {
             self.active = next;
+            // Necessity overrides quarantine: with only one bus left,
+            // a benched survivor goes back into service.
+            self.set_quarantined(next, false);
             true
         } else {
             false
@@ -108,26 +190,152 @@ impl BusSchedule {
         Some(survivor)
     }
 
-    /// Reserves the next exclusive transmission window.
+    /// Reserves the next exclusive transmission window for a frame's
+    /// *first* attempt.
     ///
     /// `earliest` is when the transmitting executive is ready; `xmit` is
     /// the frame's transmission time (latency plus size cost, computed by
-    /// the caller's cost model). Returns `(start, deliver_at)`; the frame
-    /// reaches all its targets at `deliver_at`. Returns `None` if no bus
-    /// is healthy.
-    pub fn reserve(&mut self, earliest: VTime, xmit: Dur, bytes: usize) -> Option<(VTime, VTime)> {
-        self.active()?;
+    /// the caller's cost model). The frame reaches all its targets at
+    /// `Reservation::deliver_at` unless the window carries an injected
+    /// fault. Returns `None` if no bus is healthy.
+    pub fn reserve(&mut self, earliest: VTime, xmit: Dur, bytes: usize) -> Option<Reservation> {
+        self.grant(earliest, xmit, bytes, false)
+    }
+
+    /// Reserves a window for a *re-transmission* of a frame already
+    /// counted by [`BusSchedule::reserve`]. Accounted under
+    /// `BusCounters::retries`, never under `frames`/`bytes`.
+    pub fn reserve_retry(
+        &mut self,
+        earliest: VTime,
+        xmit: Dur,
+        bytes: usize,
+    ) -> Option<Reservation> {
+        self.grant(earliest, xmit, bytes, true)
+    }
+
+    fn grant(
+        &mut self,
+        earliest: VTime,
+        xmit: Dur,
+        bytes: usize,
+        retry: bool,
+    ) -> Option<Reservation> {
+        let bus = self.active()?;
+        self.active = bus;
         let start = self.free_at.max(earliest);
         let end = start + xmit;
         self.free_at = end;
-        let c = match self.active {
+        let fault = self.pick_fault(bus, start);
+        let c = match bus {
             BusKind::A => &mut self.a,
             BusKind::B => &mut self.b,
         };
-        c.frames += 1;
-        c.bytes += bytes as u64;
+        if retry {
+            c.retries += 1;
+        } else {
+            c.frames += 1;
+            c.bytes += bytes as u64;
+        }
         c.busy += xmit.as_ticks();
-        Some((start, end))
+        Some(Reservation { start, deliver_at: end, bus, fault })
+    }
+
+    /// Arms a one-shot transient fault: the first window whose start is
+    /// at or after `at` absorbs it.
+    pub fn arm_fault(&mut self, at: VTime, fault: WireFault) {
+        self.armed.push((at, fault));
+        self.armed.sort_by_key(|(t, _)| *t);
+    }
+
+    /// Declares `[from, until)` a flaky window on `bus`: every frame it
+    /// carries with a window start inside the span is mangled, cycling
+    /// deterministically through drop/corrupt/drop/duplicate.
+    pub fn add_flaky_window(&mut self, from: VTime, until: VTime, bus: BusKind) {
+        self.flaky.push(FlakyWindow { from, until, bus });
+    }
+
+    fn pick_fault(&mut self, bus: BusKind, start: VTime) -> Option<WireFault> {
+        // One-shot armed faults fire on whichever bus carries the frame.
+        if let Some(idx) = self.armed.iter().position(|(t, _)| *t <= start) {
+            let (_, fault) = self.armed.remove(idx);
+            self.note_fault(bus, true);
+            return Some(fault);
+        }
+        if self.flaky.iter().any(|w| w.bus == bus && w.from <= start && start < w.until) {
+            const CYCLE: [WireFault; 4] =
+                [WireFault::Drop, WireFault::Corrupt, WireFault::Drop, WireFault::Duplicate];
+            let fault = CYCLE[(self.flaky_seq % 4) as usize];
+            self.flaky_seq += 1;
+            self.note_fault(bus, true);
+            return Some(fault);
+        }
+        self.note_fault(bus, false);
+        None
+    }
+
+    fn note_fault(&mut self, bus: BusKind, faulted: bool) {
+        let c = match bus {
+            BusKind::A => &mut self.a_consecutive_faults,
+            BusKind::B => &mut self.b_consecutive_faults,
+        };
+        if faulted {
+            *c += 1;
+        } else {
+            *c = 0;
+        }
+    }
+
+    /// Consecutive faulted windows on `bus` (resets on a clean window).
+    pub fn consecutive_faults(&self, bus: BusKind) -> u32 {
+        match bus {
+            BusKind::A => self.a_consecutive_faults,
+            BusKind::B => self.b_consecutive_faults,
+        }
+    }
+
+    fn set_quarantined(&mut self, bus: BusKind, v: bool) {
+        match bus {
+            BusKind::A => self.a_quarantined = v,
+            BusKind::B => self.b_quarantined = v,
+        }
+    }
+
+    /// Whether `bus` is currently benched by quarantine.
+    pub fn is_quarantined(&self, bus: BusKind) -> bool {
+        match bus {
+            BusKind::A => self.a_quarantined,
+            BusKind::B => self.b_quarantined,
+        }
+    }
+
+    /// Benches `bus` after repeated wire faults and moves traffic to the
+    /// standby, whose timeline starts fresh at `now`. Refuses (returns
+    /// `None`) when no healthy, unquarantined standby exists — with one
+    /// bus left, a misbehaving wire beats no wire.
+    pub fn quarantine(&mut self, bus: BusKind, now: VTime) -> Option<BusKind> {
+        let standby = Self::other(bus);
+        if self.failed(standby) || self.is_quarantined(standby) || self.failed(bus) {
+            return None;
+        }
+        self.set_quarantined(bus, true);
+        self.note_fault(bus, false);
+        self.active = standby;
+        self.free_at = now;
+        Some(standby)
+    }
+
+    /// Returns a quarantined bus to standby duty after a clean probe.
+    pub fn heal(&mut self, bus: BusKind) {
+        self.set_quarantined(bus, false);
+        self.note_fault(bus, false);
+    }
+
+    /// Whether a probe frame sent on `bus` at `now` would survive: the
+    /// bus is not failed and no flaky window covers `now`.
+    pub fn probe_ok(&self, bus: BusKind, now: VTime) -> bool {
+        !self.failed(bus)
+            && !self.flaky.iter().any(|w| w.bus == bus && w.from <= now && now < w.until)
     }
 
     /// When the bus next becomes free.
@@ -157,15 +365,19 @@ impl BusSchedule {
 mod tests {
     use super::*;
 
+    fn window(r: Reservation) -> (VTime, VTime) {
+        (r.start, r.deliver_at)
+    }
+
     #[test]
     fn windows_are_disjoint_and_ordered() {
         let mut bus = BusSchedule::new();
-        let (s1, e1) = bus.reserve(VTime(0), Dur(10), 100).unwrap();
-        let (s2, e2) = bus.reserve(VTime(0), Dur(5), 50).unwrap();
-        let (s3, e3) = bus.reserve(VTime(100), Dur(5), 50).unwrap();
-        assert_eq!((s1, e1), (VTime(0), VTime(10)));
-        assert_eq!((s2, e2), (VTime(10), VTime(15)), "second frame waits for the first");
-        assert_eq!((s3, e3), (VTime(100), VTime(105)), "idle gap respected");
+        let w1 = window(bus.reserve(VTime(0), Dur(10), 100).unwrap());
+        let w2 = window(bus.reserve(VTime(0), Dur(5), 50).unwrap());
+        let w3 = window(bus.reserve(VTime(100), Dur(5), 50).unwrap());
+        assert_eq!(w1, (VTime(0), VTime(10)));
+        assert_eq!(w2, (VTime(10), VTime(15)), "second frame waits for the first");
+        assert_eq!(w3, (VTime(100), VTime(105)), "idle gap respected");
     }
 
     #[test]
@@ -200,8 +412,8 @@ mod tests {
         // A dies mid-window; B takes over with a clean schedule.
         assert_eq!(bus.fail_active(VTime(400)), Some(BusKind::B));
         assert_eq!(bus.free_at(), VTime(400), "standby is not encumbered by A's windows");
-        let (s, e) = bus.reserve(VTime(0), Dur(10), 64).unwrap();
-        assert_eq!((s, e), (VTime(400), VTime(410)));
+        let w = window(bus.reserve(VTime(0), Dur(10), 64).unwrap());
+        assert_eq!(w, (VTime(400), VTime(410)));
         assert_eq!(bus.counters(BusKind::B).frames, 1);
         // The second failure exhausts the pair.
         assert_eq!(bus.fail_active(VTime(500)), None);
@@ -214,5 +426,101 @@ mod tests {
         bus.reserve(VTime(0), Dur(250), 1);
         assert_eq!(bus.utilization_permille(VTime(1000)), 250);
         assert_eq!(bus.utilization_permille(VTime::ZERO), 0);
+    }
+
+    #[test]
+    fn retries_do_not_inflate_delivered_traffic() {
+        let mut bus = BusSchedule::new();
+        bus.reserve(VTime(0), Dur(10), 100);
+        bus.reserve_retry(VTime(0), Dur(10), 100);
+        bus.reserve_retry(VTime(0), Dur(10), 100);
+        let c = bus.counters(BusKind::A);
+        assert_eq!(c.frames, 1, "a frame is delivered traffic once");
+        assert_eq!(c.bytes, 100, "retry bytes are not billed as traffic");
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.busy, 30, "the wire was busy for every attempt");
+    }
+
+    #[test]
+    fn armed_fault_hits_first_window_at_or_after_arm_time() {
+        let mut bus = BusSchedule::new();
+        bus.arm_fault(VTime(15), WireFault::Drop);
+        let r1 = bus.reserve(VTime(0), Dur(10), 1).unwrap();
+        assert_eq!(r1.fault, None, "window before the arm time is clean");
+        let r2 = bus.reserve(VTime(0), Dur(10), 1).unwrap();
+        assert_eq!(r2.fault, None, "start 10 < 15: still clean");
+        let r3 = bus.reserve(VTime(0), Dur(10), 1).unwrap();
+        assert_eq!(r3.fault, Some(WireFault::Drop), "start 20 >= 15 absorbs the fault");
+        let r4 = bus.reserve(VTime(0), Dur(10), 1).unwrap();
+        assert_eq!(r4.fault, None, "one-shot: consumed");
+    }
+
+    #[test]
+    fn flaky_window_cycles_fault_kinds_deterministically() {
+        let mut bus = BusSchedule::new();
+        bus.add_flaky_window(VTime(0), VTime(100), BusKind::A);
+        let kinds: Vec<_> =
+            (0..4).map(|_| bus.reserve(VTime(0), Dur(10), 1).unwrap().fault).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Some(WireFault::Drop),
+                Some(WireFault::Corrupt),
+                Some(WireFault::Drop),
+                Some(WireFault::Duplicate),
+            ]
+        );
+        assert_eq!(bus.consecutive_faults(BusKind::A), 4);
+        // Past the window the bus is clean again and the streak resets.
+        let r = bus.reserve(VTime(100), Dur(10), 1).unwrap();
+        assert_eq!(r.fault, None);
+        assert_eq!(bus.consecutive_faults(BusKind::A), 0);
+    }
+
+    #[test]
+    fn flaky_window_does_not_touch_the_other_bus() {
+        let mut bus = BusSchedule::new();
+        bus.add_flaky_window(VTime(0), VTime(1_000), BusKind::B);
+        let r = bus.reserve(VTime(0), Dur(10), 1).unwrap();
+        assert_eq!(r.bus, BusKind::A);
+        assert_eq!(r.fault, None);
+    }
+
+    #[test]
+    fn quarantine_moves_traffic_and_heal_restores_standby() {
+        let mut bus = BusSchedule::new();
+        bus.reserve(VTime(0), Dur(100), 1);
+        assert_eq!(bus.quarantine(BusKind::A, VTime(40)), Some(BusKind::B));
+        assert!(bus.is_quarantined(BusKind::A));
+        let r = bus.reserve(VTime(0), Dur(10), 1).unwrap();
+        assert_eq!(r.bus, BusKind::B, "traffic moved to the standby");
+        assert_eq!(r.start, VTime(40), "standby timeline starts at the quarantine instant");
+        // Double-benching is refused once the standby is the only option.
+        assert_eq!(bus.quarantine(BusKind::B, VTime(50)), None);
+        bus.heal(BusKind::A);
+        assert!(!bus.is_quarantined(BusKind::A));
+        assert_eq!(bus.active(), Some(BusKind::B), "healed bus returns as standby, not active");
+    }
+
+    #[test]
+    fn standby_failure_lifts_quarantine_out_of_necessity() {
+        let mut bus = BusSchedule::new();
+        assert_eq!(bus.quarantine(BusKind::A, VTime(10)), Some(BusKind::B));
+        assert!(bus.fail(BusKind::B), "quarantined A still counts as healthy");
+        assert!(!bus.is_quarantined(BusKind::A), "necessity overrides quarantine");
+        let r = bus.reserve(VTime(0), Dur(10), 1).unwrap();
+        assert_eq!(r.bus, BusKind::A);
+    }
+
+    #[test]
+    fn probe_ok_respects_failures_and_flaky_windows() {
+        let mut bus = BusSchedule::new();
+        bus.add_flaky_window(VTime(100), VTime(200), BusKind::A);
+        assert!(bus.probe_ok(BusKind::A, VTime(50)));
+        assert!(!bus.probe_ok(BusKind::A, VTime(150)), "probe inside the storm fails");
+        assert!(bus.probe_ok(BusKind::A, VTime(200)), "window end is exclusive");
+        assert!(bus.probe_ok(BusKind::B, VTime(150)));
+        bus.fail(BusKind::B);
+        assert!(!bus.probe_ok(BusKind::B, VTime(150)), "a failed bus never probes clean");
     }
 }

@@ -8,14 +8,14 @@
 //! backups in neighbouring clusters.
 
 use auros_bus::proto::{BackupMode, ChanEnd, ChanKind, ChannelId, ChannelInit, ServiceKind, Side};
-use auros_bus::{ClusterId, Pid};
+use auros_bus::{BusKind, ClusterId, Pid, WireFault};
 use auros_fs::fileserver::DeviceRoute;
 use auros_fs::{DiskPair, FileServer, RawServer, Terminal, TtyServer};
 use auros_kernel::spawn::ServerRole;
 use auros_kernel::world::Event;
 use auros_kernel::{Config, World};
 use auros_pager::{PageServer, PageStore};
-use auros_sim::VTime;
+use auros_sim::{Dur, VTime};
 use auros_vm::Program;
 
 use crate::fault::{FaultEvent, FaultPlanError};
@@ -124,6 +124,40 @@ impl SystemBuilder {
     /// fault on the same pair kills the survivor.
     pub fn disk_half_fail_at(&mut self, at: VTime, disk: u16) -> &mut Self {
         self.fault(FaultEvent::DiskHalfFail { at, disk })
+    }
+
+    /// Arms a transient wire fault: the next frame transmitted at or
+    /// after `at` is silently lost. The ack-timeout retransmit protocol
+    /// recovers it; the loss is invisible to applications.
+    pub fn drop_frame_at(&mut self, at: VTime) -> &mut Self {
+        self.fault(FaultEvent::FrameDrop { at })
+    }
+
+    /// Arms a transient wire fault: the next frame at or after `at`
+    /// arrives with mangled bits. The receiver checksum rejects it and
+    /// NAKs; the sender retransmits the pristine copy.
+    pub fn corrupt_frame_at(&mut self, at: VTime) -> &mut Self {
+        self.fault(FaultEvent::FrameCorrupt { at })
+    }
+
+    /// Arms a transient wire fault: the next frame at or after `at`
+    /// arrives twice. Link-layer sequencing suppresses the echo.
+    pub fn duplicate_frame_at(&mut self, at: VTime) -> &mut Self {
+        self.fault(FaultEvent::FrameDuplicate { at })
+    }
+
+    /// Arms a transient wire fault: the next frame at or after `at`
+    /// arrives `by` ticks late, possibly behind its successors. The
+    /// link layer restores per-destination order.
+    pub fn delay_frame_at(&mut self, at: VTime, by: Dur) -> &mut Self {
+        self.fault(FaultEvent::FrameDelay { at, by })
+    }
+
+    /// Declares `bus` flaky over `[from, until)`: every window it
+    /// grants in that span suffers a wire fault. Sustained flakiness
+    /// trips quarantine; probe frames heal the bus after the window.
+    pub fn flaky_bus(&mut self, from: VTime, until: VTime, bus: BusKind) -> &mut Self {
+        self.fault(FaultEvent::BusFlaky { from, until, bus })
     }
 
     /// Appends one typed fault to the plan.
@@ -374,6 +408,15 @@ impl SystemBuilder {
                 }
                 FaultEvent::ProcessFail { at, spawn } => {
                     world.queue.schedule(at, Event::PartialFailure { pid: pids[spawn] });
+                }
+                // Transient wire faults arm the bus schedule directly:
+                // they strike transmissions, not the event queue.
+                FaultEvent::FrameDrop { at } => world.bus.arm_fault(at, WireFault::Drop),
+                FaultEvent::FrameCorrupt { at } => world.bus.arm_fault(at, WireFault::Corrupt),
+                FaultEvent::FrameDuplicate { at } => world.bus.arm_fault(at, WireFault::Duplicate),
+                FaultEvent::FrameDelay { at, by } => world.bus.arm_fault(at, WireFault::Delay(by)),
+                FaultEvent::BusFlaky { from, until, bus } => {
+                    world.bus.add_flaky_window(from, until, bus);
                 }
             }
         }

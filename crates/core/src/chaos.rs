@@ -22,7 +22,8 @@
 //! Every run is deterministic, so any failure reproduces from the seed.
 
 use auros_bus::proto::BackupMode;
-use auros_sim::{DetRng, VTime};
+use auros_bus::BusKind;
+use auros_sim::{DetRng, Dur, VTime};
 
 use crate::fault::FaultEvent;
 use crate::oracle::{check_survival, RunDigest};
@@ -70,6 +71,14 @@ pub enum PlanKind {
     /// A second cluster crashes before re-protection completes, taking
     /// the fresh promotions' hosts down: outside the model.
     RapidDoubleCrash,
+    /// A handful of one-shot transient wire faults — drops, corruptions,
+    /// duplications, delays — scattered through the run. The reliable
+    /// delivery layer must make every one invisible.
+    TransientMix,
+    /// Bus A turns flaky for a window: every grant in the span suffers a
+    /// wire fault. Quarantine must bench it, the standby must carry the
+    /// traffic, and the run must stay externally indistinguishable.
+    FlakyBusWindow,
 }
 
 impl PlanKind {
@@ -79,7 +88,7 @@ impl PlanKind {
     }
 
     /// All shapes the sampler draws from.
-    pub const ALL: [PlanKind; 8] = [
+    pub const ALL: [PlanKind; 10] = [
         PlanKind::SingleCrash,
         PlanKind::SingleBusFail,
         PlanKind::SingleDiskHalf,
@@ -88,6 +97,8 @@ impl PlanKind {
         PlanKind::BusFailPlusCrash,
         PlanKind::DoubleBusFail,
         PlanKind::RapidDoubleCrash,
+        PlanKind::TransientMix,
+        PlanKind::FlakyBusWindow,
     ];
 }
 
@@ -253,6 +264,25 @@ fn sample_plan(rng: &mut DetRng) -> (PlanKind, Vec<FaultEvent>) {
                 FaultEvent::ClusterCrash { at: VTime(t1), cluster: a },
                 FaultEvent::ClusterCrash { at: VTime(t2), cluster: b },
             ]
+        }
+        PlanKind::TransientMix => {
+            let n = 2 + rng.below(4) as usize;
+            (0..n)
+                .map(|_| {
+                    let at = VTime(rng.range(2_000, 60_000));
+                    match rng.below(4) {
+                        0 => FaultEvent::FrameDrop { at },
+                        1 => FaultEvent::FrameCorrupt { at },
+                        2 => FaultEvent::FrameDuplicate { at },
+                        _ => FaultEvent::FrameDelay { at, by: Dur(rng.range(200, 1_500)) },
+                    }
+                })
+                .collect()
+        }
+        PlanKind::FlakyBusWindow => {
+            let from = rng.range(2_000, 30_000);
+            let until = from + rng.range(3_000, 9_000);
+            vec![FaultEvent::BusFlaky { from: VTime(from), until: VTime(until), bus: BusKind::A }]
         }
     };
     (kind, events)

@@ -12,7 +12,8 @@
 
 use std::fmt;
 
-use auros_sim::VTime;
+use auros_bus::BusKind;
+use auros_sim::{Dur, VTime};
 
 /// One injectable hardware fault.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,6 +56,46 @@ pub enum FaultEvent {
         /// Index of the victim among the builder's spawns.
         spawn: usize,
     },
+    /// A transient wire fault: the next intercluster frame transmitted
+    /// at or after `at` is silently lost. The ack-timeout retransmit
+    /// protocol must recover it.
+    FrameDrop {
+        /// Armed from this instant; fires on the next transmission.
+        at: VTime,
+    },
+    /// A transient wire fault: the next frame at or after `at` arrives
+    /// with mangled bits. The receiver checksum must catch it and NAK.
+    FrameCorrupt {
+        /// Armed from this instant; fires on the next transmission.
+        at: VTime,
+    },
+    /// A transient wire fault: the next frame at or after `at` arrives
+    /// twice. Link-layer sequencing must suppress the second copy.
+    FrameDuplicate {
+        /// Armed from this instant; fires on the next transmission.
+        at: VTime,
+    },
+    /// A transient wire fault: the next frame at or after `at` arrives
+    /// `by` ticks late, possibly behind its successors. The link layer
+    /// must restore per-destination order.
+    FrameDelay {
+        /// Armed from this instant; fires on the next transmission.
+        at: VTime,
+        /// Extra in-flight latency added to the victim frame.
+        by: Dur,
+    },
+    /// A flaky-bus window: every window `bus` grants with a start time
+    /// in `[from, until)` suffers a wire fault (cycling drop, corrupt,
+    /// drop, duplicate). Sustained flakiness should trip quarantine and
+    /// fail traffic over to the standby.
+    BusFlaky {
+        /// Window opens.
+        from: VTime,
+        /// Window closes (exclusive); must be after `from`.
+        until: VTime,
+        /// Which bus of the dual pair misbehaves.
+        bus: BusKind,
+    },
 }
 
 impl FaultEvent {
@@ -65,7 +106,12 @@ impl FaultEvent {
             | FaultEvent::BusFail { at }
             | FaultEvent::DiskHalfFail { at, .. }
             | FaultEvent::Restore { at, .. }
-            | FaultEvent::ProcessFail { at, .. } => *at,
+            | FaultEvent::ProcessFail { at, .. }
+            | FaultEvent::FrameDrop { at }
+            | FaultEvent::FrameCorrupt { at }
+            | FaultEvent::FrameDuplicate { at }
+            | FaultEvent::FrameDelay { at, .. } => *at,
+            FaultEvent::BusFlaky { from, .. } => *from,
         }
     }
 }
@@ -113,6 +159,20 @@ pub enum FaultPlanError {
         /// How many processes the workload spawns.
         spawns: usize,
     },
+    /// A flaky-bus window that closes at or before it opens.
+    EmptyFlakyWindow {
+        /// Window open.
+        from: VTime,
+        /// Window close, not after `from`.
+        until: VTime,
+    },
+    /// A transient wire fault aimed at a point in the plan where the
+    /// targeted bus (or, for one-shot faults, every bus) has already
+    /// suffered a permanent failure: there is no live wire to flake.
+    TransientOnDeadBus {
+        /// When the doomed transient was scheduled.
+        at: VTime,
+    },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -136,6 +196,12 @@ impl fmt::Display for FaultPlanError {
             FaultPlanError::SpawnOutOfRange { spawn, spawns } => {
                 write!(f, "fault names spawn {spawn} but the workload spawns {spawns} processes")
             }
+            FaultPlanError::EmptyFlakyWindow { from, until } => {
+                write!(f, "flaky-bus window [{from}, {until}) is empty")
+            }
+            FaultPlanError::TransientOnDeadBus { at } => {
+                write!(f, "transient wire fault at {at}: the targeted bus has permanently failed")
+            }
         }
     }
 }
@@ -157,6 +223,9 @@ pub(crate) fn validate(
     let mut ordered: Vec<&FaultEvent> = events.iter().collect();
     ordered.sort_by_key(|e| e.at());
     let mut down = vec![false; clusters as usize];
+    // Permanent bus failures strike the *active* bus: the first BusFail
+    // kills A (traffic fails over to B), the second kills B.
+    let mut buses_dead: u32 = 0;
     for ev in ordered {
         if ev.at() == VTime(0) {
             return Err(FaultPlanError::AtTimeZero);
@@ -190,7 +259,31 @@ pub(crate) fn validate(
                     return Err(FaultPlanError::SpawnOutOfRange { spawn, spawns });
                 }
             }
-            FaultEvent::BusFail { .. } => {}
+            FaultEvent::BusFail { .. } => buses_dead += 1,
+            FaultEvent::FrameDrop { at }
+            | FaultEvent::FrameCorrupt { at }
+            | FaultEvent::FrameDuplicate { at }
+            | FaultEvent::FrameDelay { at, .. } => {
+                // One-shot transients fire on whichever bus is active;
+                // they are doomed only once both buses are dead.
+                if buses_dead >= 2 {
+                    return Err(FaultPlanError::TransientOnDeadBus { at });
+                }
+            }
+            FaultEvent::BusFlaky { from, until, bus } => {
+                if until <= from {
+                    return Err(FaultPlanError::EmptyFlakyWindow { from, until });
+                }
+                // BusFail kills A first, then B: the named bus is gone
+                // once enough permanent failures precede the window.
+                let dead = match bus {
+                    BusKind::A => buses_dead >= 1,
+                    BusKind::B => buses_dead >= 2,
+                };
+                if dead {
+                    return Err(FaultPlanError::TransientOnDeadBus { at: from });
+                }
+            }
         }
     }
     Ok(())
@@ -279,5 +372,67 @@ mod tests {
         assert!(e.to_string().contains("cluster 2"));
         let e = FaultPlanError::ClusterOutOfRange { cluster: 9, clusters: 3 };
         assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        let e = FaultPlanError::EmptyFlakyWindow { from: VTime(50), until: VTime(50) };
+        assert!(e.to_string().contains("empty"));
+        let e = FaultPlanError::TransientOnDeadBus { at: VTime(99) };
+        assert!(e.to_string().contains("permanently failed"));
+    }
+
+    #[test]
+    fn transient_plan_passes_and_reports_arming_times() {
+        let plan = [
+            FaultEvent::FrameDrop { at: VTime(10) },
+            FaultEvent::FrameCorrupt { at: VTime(20) },
+            FaultEvent::FrameDuplicate { at: VTime(30) },
+            FaultEvent::FrameDelay { at: VTime(40), by: Dur(500) },
+            FaultEvent::BusFlaky { from: VTime(50), until: VTime(90), bus: BusKind::A },
+        ];
+        assert_eq!(validate(&plan, 3, 1, 0), Ok(()));
+        assert_eq!(plan[3].at(), VTime(40));
+        assert_eq!(plan[4].at(), VTime(50));
+    }
+
+    #[test]
+    fn empty_flaky_window_is_rejected() {
+        let plan = [FaultEvent::BusFlaky { from: VTime(50), until: VTime(50), bus: BusKind::A }];
+        assert_eq!(
+            validate(&plan, 3, 1, 0),
+            Err(FaultPlanError::EmptyFlakyWindow { from: VTime(50), until: VTime(50) })
+        );
+    }
+
+    #[test]
+    fn flaky_window_on_a_permanently_failed_bus_is_rejected() {
+        // The first BusFail kills bus A; a later flaky window naming A
+        // has no wire left to flake.
+        let plan = [
+            FaultEvent::BusFail { at: VTime(10) },
+            FaultEvent::BusFlaky { from: VTime(20), until: VTime(60), bus: BusKind::A },
+        ];
+        assert_eq!(
+            validate(&plan, 3, 1, 0),
+            Err(FaultPlanError::TransientOnDeadBus { at: VTime(20) })
+        );
+        // Naming the surviving bus B is fine.
+        let plan = [
+            FaultEvent::BusFail { at: VTime(10) },
+            FaultEvent::BusFlaky { from: VTime(20), until: VTime(60), bus: BusKind::B },
+        ];
+        assert_eq!(validate(&plan, 3, 1, 0), Ok(()));
+    }
+
+    #[test]
+    fn one_shot_transients_survive_one_bus_failure_but_not_two() {
+        let plan = [FaultEvent::BusFail { at: VTime(10) }, FaultEvent::FrameDrop { at: VTime(20) }];
+        assert_eq!(validate(&plan, 3, 1, 0), Ok(()));
+        let plan = [
+            FaultEvent::BusFail { at: VTime(10) },
+            FaultEvent::BusFail { at: VTime(15) },
+            FaultEvent::FrameDrop { at: VTime(20) },
+        ];
+        assert_eq!(
+            validate(&plan, 3, 1, 0),
+            Err(FaultPlanError::TransientOnDeadBus { at: VTime(20) })
+        );
     }
 }

@@ -99,6 +99,13 @@ impl SurvivalReport {
 ///    its last duplicate (§5.4).
 /// 5. **Promoted backups reach live state** — no process is still gated
 ///    on backup re-creation (`AwaitBackup`, §7.3).
+/// 6. **Link layer drained** — no frame is still held behind a
+///    sequence gap once the run settled; a held frame at rest means a
+///    retransmission was lost for good.
+/// 7. **No corruption escaped** — every mangled frame the wire injected
+///    was caught by the receiver checksum (`corruptions_caught ==
+///    wire_corruptions`): a mismatch means corrupted bytes were
+///    consumed as if sound.
 pub fn check_survival(sys: &System) -> SurvivalReport {
     let mut violations = Vec::new();
     let live: Vec<u16> = sys.world.clusters.iter().filter(|c| c.alive).map(|c| c.id.0).collect();
@@ -175,6 +182,20 @@ pub fn check_survival(sys: &System) -> SurvivalReport {
                 violations.push(format!("c{}: {pid} is still gated on backup re-creation", c.id.0));
             }
         }
+    }
+
+    // 6: the link layer holds no frame behind a sequence gap at rest.
+    let held = sys.world.held_link_frames();
+    if held != 0 {
+        violations.push(format!("link layer still holds {held} frames behind sequence gaps"));
+    }
+    // 7: every injected corruption was caught at the receiver.
+    let stats = &sys.world.stats;
+    if stats.corruptions_caught != stats.wire_corruptions {
+        violations.push(format!(
+            "checksum caught {} of {} injected corruptions — the rest were consumed",
+            stats.corruptions_caught, stats.wire_corruptions
+        ));
     }
 
     // 2 (cross-cluster half): all survivors agree on the directory.

@@ -82,6 +82,41 @@ pub fn render(sys: &System) -> String {
     if s.disk_half_faults > 0 {
         let _ = writeln!(out, "  disk: {} mirror half(s) failed", s.disk_half_faults);
     }
+    if s.wire_faults() > 0 {
+        let _ = writeln!(
+            out,
+            "  wire: {} transient fault(s) injected ({} dropped, {} corrupted, {} duplicated, {} delayed)",
+            s.wire_faults(),
+            s.wire_drops,
+            s.wire_corruptions,
+            s.wire_duplicates,
+            s.wire_delays
+        );
+        let _ = writeln!(
+            out,
+            "  link: {} corruption(s) caught, {} NAK(s), {} retransmit(s), {} duplicate(s) suppressed, {} frame(s) reordered, {} abandoned",
+            s.corruptions_caught,
+            s.naks,
+            s.proto_retransmits,
+            s.dup_suppressed,
+            s.frames_reordered,
+            s.frames_abandoned
+        );
+    }
+    if s.quarantines > 0 {
+        let _ = writeln!(
+            out,
+            "  quarantine: {} bus(es) benched, {} healed after {} probe(s)",
+            s.quarantines, s.heals, s.probes
+        );
+    }
+    if s.forced_syncs > 0 || s.max_backup_queue_depth > 0 {
+        let _ = writeln!(
+            out,
+            "  backpressure: {} forced sync(s), deepest backup queue {}",
+            s.forced_syncs, s.max_backup_queue_depth
+        );
+    }
     out
 }
 

@@ -51,6 +51,22 @@ pub struct CostModel {
     pub report_interval: Dur,
     /// Executive time to create one backup PCB or routing entry.
     pub exec_backup_maintenance: Dur,
+    /// Reliable delivery: how long after a frame's nominal delivery time
+    /// the sender waits for the implicit acknowledgement before
+    /// suspecting a drop and retransmitting (virtual time only, D2).
+    pub ack_timeout: Dur,
+    /// Reliable delivery: base retransmit backoff; attempt *n* waits
+    /// `retransmit_backoff << min(n, 6)` before re-reserving the bus.
+    pub retransmit_backoff: Dur,
+    /// Reliable delivery: time for a receiver's NAK (checksum failure
+    /// report) to reach the sending executive.
+    pub nak_latency: Dur,
+    /// Quarantine: interval between probe frames sent on a benched bus
+    /// to decide whether it has healed.
+    pub probe_interval: Dur,
+    /// Wire-duplicate fault model: lag between the two copies of a
+    /// duplicated frame.
+    pub dup_lag: Dur,
 }
 
 impl Default for CostModel {
@@ -71,6 +87,11 @@ impl Default for CostModel {
             poll_interval: Dur(5_000),
             report_interval: Dur(20_000),
             exec_backup_maintenance: Dur(8),
+            ack_timeout: Dur(600),
+            retransmit_backoff: Dur(150),
+            nak_latency: Dur(8),
+            probe_interval: Dur(4_000),
+            dup_lag: Dur(7),
         }
     }
 }
@@ -148,6 +169,19 @@ pub struct Config {
     pub costs: CostModel,
     /// Random seed for workload components that ask the world for one.
     pub seed: u64,
+    /// Reliable delivery: how many times a frame is retransmitted before
+    /// being abandoned (its link slots are skipped so later traffic is
+    /// not stalled behind a hopeless frame).
+    pub max_retransmits: u32,
+    /// Quarantine trigger: consecutive faulted transmission windows on
+    /// one bus before traffic moves to the standby.
+    pub quarantine_after: u32,
+    /// Backpressure: bound on a backup message queue's depth. When a
+    /// queue reaches the bound, the backup's kernel demands a
+    /// synchronization from the owner's primary — the paper's
+    /// message-count sync trigger (§5.2) driven from the memory-pressure
+    /// side. `None` (the default) disables the bound.
+    pub backup_queue_limit: Option<usize>,
 }
 
 impl Default for Config {
@@ -165,6 +199,9 @@ impl Default for Config {
             ablations: Ablations::default(),
             costs: CostModel::default(),
             seed: 0,
+            max_retransmits: 8,
+            quarantine_after: 3,
+            backup_queue_limit: None,
         }
     }
 }
@@ -194,6 +231,15 @@ impl Config {
         if self.quantum == 0 {
             return Err("quantum must be positive".into());
         }
+        if self.max_retransmits == 0 {
+            return Err("at least one retransmit attempt is required".into());
+        }
+        if self.quarantine_after == 0 {
+            return Err("quarantine_after must be positive".into());
+        }
+        if matches!(self.backup_queue_limit, Some(n) if n < 2) {
+            return Err("a backup queue bound below 2 would demand a sync per message".into());
+        }
         Ok(())
     }
 }
@@ -214,6 +260,10 @@ mod tests {
         assert!(Config { clusters: 64, ..Config::default() }.validate().is_err());
         assert!(Config { work_processors: 0, ..Config::default() }.validate().is_err());
         assert!(Config { quantum: 0, ..Config::default() }.validate().is_err());
+        assert!(Config { max_retransmits: 0, ..Config::default() }.validate().is_err());
+        assert!(Config { quarantine_after: 0, ..Config::default() }.validate().is_err());
+        assert!(Config { backup_queue_limit: Some(1), ..Config::default() }.validate().is_err());
+        assert!(Config { backup_queue_limit: Some(2), ..Config::default() }.validate().is_ok());
     }
 
     #[test]

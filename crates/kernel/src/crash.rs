@@ -31,6 +31,9 @@ impl World {
         self.clusters[ci].crashed_at = Some(now);
         self.stats.note_crash(cid, now);
         self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || "cluster crashed".into());
+        // The live-target set shrank: frames held only because the dead
+        // cluster had a link-sequence gap may now be deliverable.
+        self.drain_held();
     }
 
     /// Polling discovered `dead`: notify every survivor (§7.10).
@@ -419,6 +422,10 @@ impl World {
         }
         self.clusters[ci] = fresh;
         self.unannounce_restored(cid);
+        // The rebuilt cluster has no delivery history: re-align every
+        // link into it so traffic sent to the dead incarnation is not
+        // awaited forever, and re-examine frames held on its account.
+        self.resync_links_into(cid);
         // The rebooted kernel re-establishes its ports to the global
         // servers (the dead incarnation's entries were closed).
         self.wire_kernel_ports_for(cid, true);

@@ -100,6 +100,11 @@ pub struct BackupEntry {
     pub peer_closed: bool,
     /// The peer's backup mode.
     pub peer_mode: BackupMode,
+    /// Backpressure latch: a sync has been demanded from the owner's
+    /// primary because this queue reached its configured bound; cleared
+    /// when the sync arrives and trims the queue. Prevents a demand
+    /// storm while the sync is in flight.
+    pub sync_demanded: bool,
 }
 
 impl BackupEntry {
@@ -115,6 +120,7 @@ impl BackupEntry {
             peer_backup: init.peer_backup,
             peer_closed: false,
             peer_mode: init.peer_mode,
+            sync_demanded: false,
         }
     }
 
@@ -631,20 +637,20 @@ mod tests {
     fn frame_check_invariant_holds_for_three_way() {
         // Sanity cross-check with the bus crate's invariant.
         let end = ChanEnd { channel: ChannelId(1), side: Side::B };
-        let f = Frame {
-            src_cluster: ClusterId(0),
-            targets: vec![
+        let f = Frame::new(
+            ClusterId(0),
+            vec![
                 (ClusterId(1), auros_bus::DeliveryTag::Primary(end)),
                 (ClusterId(2), auros_bus::DeliveryTag::DestBackup(end)),
                 (ClusterId(1), auros_bus::DeliveryTag::SenderBackup(end.peer())),
             ],
-            msg: Message {
+            Message {
                 id: MsgId(0),
                 src: Pid(1),
                 payload: Payload::Data(vec![1].into()),
                 nondet: vec![],
             },
-        };
+        );
         assert!(f.check_invariants().is_ok());
     }
 }

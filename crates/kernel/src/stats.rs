@@ -91,6 +91,41 @@ pub struct WorldStats {
     pub frames_retransmitted: u64,
     /// Injected single-mirror disk failures.
     pub disk_half_faults: u64,
+    /// Transient wire faults injected: frames silently dropped.
+    pub wire_drops: u64,
+    /// Transient wire faults injected: frames mangled in transit.
+    pub wire_corruptions: u64,
+    /// Transient wire faults injected: frames duplicated.
+    pub wire_duplicates: u64,
+    /// Transient wire faults injected: frames delayed.
+    pub wire_delays: u64,
+    /// Mangled frames the receiver checksum rejected. Equals
+    /// `wire_corruptions` at the end of a settled run: no corruption
+    /// escapes detection.
+    pub corruptions_caught: u64,
+    /// NAKs sent back to the transmitting executive after a checksum
+    /// rejection.
+    pub naks: u64,
+    /// Protocol-level retransmissions (ack-timeout- or NAK-driven; bus
+    /// failover retransmissions stay in `frames_retransmitted`).
+    pub proto_retransmits: u64,
+    /// Frames given up on after `max_retransmits` attempts.
+    pub frames_abandoned: u64,
+    /// Frames the link layer suppressed as already-consumed duplicates.
+    pub dup_suppressed: u64,
+    /// Frames held behind a link-sequence gap and delivered later, in
+    /// order.
+    pub frames_reordered: u64,
+    /// Buses benched after repeated wire faults.
+    pub quarantines: u64,
+    /// Quarantined buses returned to service by a clean probe.
+    pub heals: u64,
+    /// Probe frames sent on quarantined buses.
+    pub probes: u64,
+    /// Synchronizations forced by backup-queue backpressure.
+    pub forced_syncs: u64,
+    /// Deepest backup message queue observed anywhere.
+    pub max_backup_queue_depth: u64,
     /// One entry per cluster crash, in injection order.
     pub recoveries: Vec<RecoveryRecord>,
     /// Virtual time of the last processed event.
@@ -121,6 +156,11 @@ impl WorldStats {
     /// Total suppressed duplicate sends.
     pub fn total_suppressed(&self) -> u64 {
         self.clusters.iter().map(|c| c.suppressed_sends).sum()
+    }
+
+    /// Total transient wire faults injected, of every kind.
+    pub fn wire_faults(&self) -> u64 {
+        self.wire_drops + self.wire_corruptions + self.wire_duplicates + self.wire_delays
     }
 
     /// Opens a recovery episode for a crash of `dead` at `now`.

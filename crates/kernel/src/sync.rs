@@ -279,8 +279,30 @@ impl World {
             }
             Control::ChannelClosed { end } => self.apply_channel_closed(cid, *end),
             Control::Exited { pid } => self.apply_peer_exited(cid, *pid),
+            Control::SyncDemand { pid } => self.apply_sync_demand(cid, *pid),
             Control::ProcessFailed { pid, at } => self.apply_process_failed(cid, *pid, *at),
         }
+    }
+
+    /// Backpressure: a backup cluster reports `pid`'s saved-message
+    /// queue at its bound. If the primary runs here and is alive,
+    /// synchronize it now — the sync trims the queue at the backup and
+    /// blocks the sender for the enqueue time (§8.3), which is exactly
+    /// the degradation the paper's message-count trigger buys (§5.2).
+    fn apply_sync_demand(&mut self, cid: ClusterId, pid: Pid) {
+        let ci = cid.0 as usize;
+        // Users and servers alike: whatever owns the overfull queue
+        // must sync it down.
+        let runs_here = self.clusters[ci].procs.get(&pid).is_some_and(|p| !p.is_dead());
+        if !runs_here {
+            return;
+        }
+        self.stats.forced_syncs += 1;
+        let now = self.now();
+        self.trace.emit(now, TraceCategory::Sync, Some(cid.0), || {
+            format!("backpressure: forced sync of {pid}")
+        });
+        self.perform_sync(cid, pid);
     }
 
     /// Applies a sync message at the backup cluster (§7.8).
@@ -371,13 +393,16 @@ impl World {
             self.clusters[ci].routing.remove_backup(end);
         }
         // Zero the writes-since-sync counts (§5.2) — except residual
-        // suppression debt carried through a mid-rollforward sync.
+        // suppression debt carried through a mid-rollforward sync — and
+        // release the backpressure latch: the queue was just trimmed, so
+        // a still-full queue may demand a fresh sync.
         let ends = self.clusters[ci].routing.backup_ends_of(pid);
         for end in ends {
             let residual =
                 rec.residual_suppress.iter().find(|(e, _)| *e == end).map(|(_, n)| *n).unwrap_or(0);
             if let Some(be) = self.clusters[ci].routing.backup_mut(&end) {
                 be.writes_since_sync = residual;
+                be.sync_demanded = false;
             }
         }
         // First sync from a child marks its birth record (§7.7).

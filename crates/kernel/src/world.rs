@@ -13,7 +13,11 @@ use auros_bus::proto::{
     BackupMode, ChanEnd, ChanKind, ChannelId, ChannelInit, PagerReply, Payload, ProcReply,
     ProcRequest, ServiceKind, Side,
 };
-use auros_bus::{BusSchedule, ClusterId, DeliveryTag, Frame, Message, MsgId, Pid};
+use auros_bus::schedule::Reservation;
+use auros_bus::{
+    BusKind, BusSchedule, ClusterId, DeliveryTag, Frame, FrameClass, LinkLedger, Message, MsgId,
+    Pid, WireFault,
+};
 use auros_sim::{Dur, EventQueue, TraceCategory, TraceLog, VTime};
 
 use crate::cluster::{Cluster, PendingFrame};
@@ -143,23 +147,65 @@ pub enum Event {
         /// Bytes typed.
         data: Vec<u8>,
     },
+    /// Reliable delivery: the sender's implicit-acknowledgement timer
+    /// for one in-flight frame expired — if the frame is still
+    /// outstanding at the same attempt, retransmit it. Scheduled only
+    /// when a wire fault was actually injected, so fault-free runs see
+    /// no timer traffic at all.
+    RetryTimeout {
+        /// In-flight ledger key.
+        flight: u64,
+        /// Attempt the timer was armed for (stale timers no-op).
+        attempt: u32,
+    },
+    /// Reliable delivery: a receiver's checksum rejected the frame; the
+    /// NAK reaches the sending executive and triggers retransmission.
+    Nak {
+        /// In-flight ledger key.
+        flight: u64,
+        /// Attempt the NAK refers to.
+        attempt: u32,
+    },
+    /// Quarantine: probe every benched bus; heal the ones whose probe
+    /// frame survives.
+    BusProbe,
 }
 
 /// Flight key of frames exempt from the in-flight ledger (the
 /// no-atomic-delivery ablation's per-target splits).
 pub const UNTRACKED_FLIGHT: u64 = u64::MAX;
 
+/// A sealed frame's `(destination, link-seq)` pairs, for the link
+/// ledger. Unsealed frames (possible only in unit tests that bypass
+/// `send_frame`) yield no pairs and are treated as in-order.
+fn link_pairs(frame: &Frame) -> Vec<(u16, u64)> {
+    if frame.seqs.len() != frame.targets.len() {
+        return Vec::new();
+    }
+    frame.targets.iter().zip(&frame.seqs).map(|(&(cid, _), &seq)| (cid.0, seq)).collect()
+}
+
 /// A frame currently occupying a bus window, kept so a bus failure can
 /// retransmit it on the standby (§7.1: the bus pair is redundant, so a
 /// single bus failure must lose nothing).
 #[derive(Debug)]
 struct InFlight {
-    /// Handle of the scheduled `BusDeliver`, for cancellation.
-    at: auros_sim::ScheduledAt,
+    /// Handle of the scheduled `BusDeliver`, for cancellation. `None`
+    /// while no delivery is scheduled (the frame was dropped on the wire
+    /// and awaits its retry timer).
+    at: Option<auros_sim::ScheduledAt>,
     /// The frame itself (the scheduled copy is unreachable once queued).
     frame: Frame,
     /// Wire size, to re-derive the retransmission window.
     bytes: usize,
+    /// Transmission attempt (0 = first). Stale `RetryTimeout`/`Nak`
+    /// events carry the attempt they were armed for and no-op on
+    /// mismatch.
+    attempt: u32,
+    /// Whether the scheduled delivery, if it fires, consumes the flight.
+    /// `false` for a corrupt copy: its arrival NAKs instead of
+    /// delivering, so the pristine frame must stay in the ledger.
+    pending_delivery: bool,
 }
 
 /// How a send attempt on an entry ended.
@@ -231,6 +277,15 @@ pub struct World {
     /// keyed by flight id in send order.
     in_flight: BTreeMap<u64, InFlight>,
     next_flight: u64,
+    /// Per-(sender, destination) link sequencing: duplicate suppression
+    /// and FIFO restoration under a lossy wire.
+    links: LinkLedger,
+    /// Frames that arrived ahead of a link-sequence gap, held until the
+    /// missing frame delivers (or is abandoned), keyed in arrival order.
+    held_frames: BTreeMap<u64, Frame>,
+    next_hold: u64,
+    /// Whether a `BusProbe` chain is currently scheduled.
+    probing: bool,
     next_msg_id: u64,
     next_spawn: u64,
     /// Live timer tokens per server pid (stale ones are dropped).
@@ -264,6 +319,10 @@ impl World {
             announced_crashes: Vec::new(),
             in_flight: BTreeMap::new(),
             next_flight: 0,
+            links: LinkLedger::default(),
+            held_frames: BTreeMap::new(),
+            next_hold: 0,
+            probing: false,
             next_msg_id: 0,
             next_spawn: 0,
             server_timers: BTreeMap::new(),
@@ -415,7 +474,25 @@ impl World {
             Event::TerminalInput { device, line, data } => {
                 self.on_terminal_input(device, line, data)
             }
+            Event::RetryTimeout { flight, attempt } => self.on_retry_timeout(flight, attempt),
+            Event::Nak { flight, attempt } => self.on_nak(flight, attempt),
+            Event::BusProbe => self.on_bus_probe(),
         }
+    }
+
+    /// Frames currently parked behind a link-sequence gap. Zero at the
+    /// end of every settled run (the survivability oracle checks this):
+    /// a permanently held frame would be a silently lost message.
+    pub fn held_link_frames(&self) -> usize {
+        self.held_frames.len()
+    }
+
+    /// Cluster `cid` was rebuilt from scratch (restore): links into it
+    /// have no receiver history; re-align them with the sender side and
+    /// re-examine any frames held on the dead incarnation's account.
+    pub(crate) fn resync_links_into(&mut self, cid: ClusterId) {
+        self.links.resync_into(cid.0);
+        self.drain_held();
     }
 
     // ------------------------------------------------------------------
@@ -484,7 +561,7 @@ impl World {
             Vec::new()
         };
         let msg = Message { id: self.msg_id(), src, payload, nondet };
-        let frame = Frame { src_cluster: cid, targets, msg };
+        let frame = Frame::new(cid, targets, msg);
         self.send_frame(cid, frame, self.now());
         SendOutcome::Sent
     }
@@ -500,7 +577,7 @@ impl World {
             return;
         }
         let msg = Message { id: self.msg_id(), src: kernel_pid(cid), payload, nondet: Vec::new() };
-        let frame = Frame { src_cluster: cid, targets, msg };
+        let frame = Frame::new(cid, targets, msg);
         self.send_frame(cid, frame, self.now());
     }
 
@@ -521,11 +598,15 @@ impl World {
         self.clusters[ci].exec_free = exec_ready;
         self.stats.clusters[ci].exec_busy += self.cfg.costs.exec_send;
         self.stats.clusters[ci].frames_sent += 1;
-        // …and transmits it once over the intercluster bus.
+        // …stamps it with link sequence numbers and the header
+        // checksum, and transmits it once over the intercluster bus.
+        let mut frame = frame;
+        let seqs = self.links.stamp(cid.0, frame.targets.iter().map(|(c, _)| c.0));
+        frame.seal(seqs);
         let bytes = frame.wire_size();
         let xmit = self.cfg.costs.bus_xmit(bytes);
         match self.bus.reserve(exec_ready, xmit, bytes) {
-            Some((start, deliver_at)) => {
+            Some(res) => {
                 self.stats.bus_frames += 1;
                 self.stats.bus_bytes += bytes as u64;
                 self.stats.bus_busy += xmit;
@@ -534,20 +615,18 @@ impl World {
                     // deterministic jitter — §5.1's non-interleaving
                     // guarantee no longer holds. Splits are exempt from
                     // the in-flight ledger (and thus from bus-failover
-                    // retransmission).
+                    // retransmission) and from link sequencing.
                     for (i, target) in frame.targets.iter().enumerate() {
                         let jitter =
                             Dur((frame.msg.id.0.wrapping_mul(2_654_435_761) >> (8 + i)) % 60);
-                        let split = Frame {
-                            src_cluster: frame.src_cluster,
-                            targets: vec![*target],
-                            msg: frame.msg.clone(),
-                        };
+                        let mut split =
+                            Frame::new(frame.src_cluster, vec![*target], frame.msg.clone());
+                        split.seal(vec![frame.seqs[i]]);
                         self.queue.schedule(
-                            deliver_at + jitter,
+                            res.deliver_at + jitter,
                             Event::BusDeliver {
                                 frame: split,
-                                xmit_start: start,
+                                xmit_start: res.start,
                                 flight: UNTRACKED_FLIGHT,
                             },
                         );
@@ -555,22 +634,225 @@ impl World {
                 } else {
                     let flight = self.next_flight;
                     self.next_flight += 1;
-                    let tracked = frame.clone();
-                    let at = self.queue.schedule(
-                        deliver_at,
-                        Event::BusDeliver { frame, xmit_start: start, flight },
+                    self.in_flight.insert(
+                        flight,
+                        InFlight {
+                            at: None,
+                            frame: frame.clone(),
+                            bytes,
+                            attempt: 0,
+                            pending_delivery: false,
+                        },
                     );
-                    self.in_flight.insert(flight, InFlight { at, frame: tracked, bytes });
+                    self.launch_wire(flight, frame, res, 0);
                 }
             }
             None => {
                 // Both buses failed: outside the single-fault model; the
-                // frame is lost.
+                // frame is lost. Its link slots must still be consumed,
+                // or later traffic on the same links would stall forever.
+                self.links.skip(cid.0, &link_pairs(&frame));
                 let now = self.now();
                 self.trace.emit(now, TraceCategory::Bus, Some(cid.0), || {
                     "frame lost: no healthy bus".to_string()
                 });
             }
+        }
+    }
+
+    /// Puts one attempt of a tracked frame onto the wire, realizing any
+    /// fault the reservation carries. Fault-free windows schedule exactly
+    /// the one `BusDeliver` the pre-reliability bus scheduled, so clean
+    /// runs are event-for-event identical to the perfect-wire model.
+    fn launch_wire(&mut self, flight: u64, frame: Frame, res: Reservation, attempt: u32) {
+        let now = self.now();
+        let fault = res.fault;
+        let (at, pending) = match fault {
+            None => {
+                let at = self.queue.schedule(
+                    res.deliver_at,
+                    Event::BusDeliver { frame, xmit_start: res.start, flight },
+                );
+                (Some(at), true)
+            }
+            Some(WireFault::Drop) => {
+                self.stats.wire_drops += 1;
+                let timeout = res.deliver_at + self.cfg.costs.ack_timeout;
+                self.queue.schedule(timeout, Event::RetryTimeout { flight, attempt });
+                (None, false)
+            }
+            Some(WireFault::Corrupt) => {
+                self.stats.wire_corruptions += 1;
+                let mut mangled = frame;
+                mangled.corrupt();
+                // The mangled copy arrives but must not consume the
+                // flight: its delivery NAKs, and the pristine frame in
+                // the ledger is what gets retransmitted.
+                let at = self.queue.schedule(
+                    res.deliver_at,
+                    Event::BusDeliver { frame: mangled, xmit_start: res.start, flight },
+                );
+                (Some(at), false)
+            }
+            Some(WireFault::Duplicate) => {
+                self.stats.wire_duplicates += 1;
+                let dup = frame.clone();
+                let at = self.queue.schedule(
+                    res.deliver_at,
+                    Event::BusDeliver { frame, xmit_start: res.start, flight },
+                );
+                self.queue.schedule(
+                    res.deliver_at + self.cfg.costs.dup_lag,
+                    Event::BusDeliver { frame: dup, xmit_start: res.start, flight },
+                );
+                (Some(at), true)
+            }
+            Some(WireFault::Delay(by)) => {
+                self.stats.wire_delays += 1;
+                let at = self.queue.schedule(
+                    res.deliver_at + by,
+                    Event::BusDeliver { frame, xmit_start: res.start, flight },
+                );
+                // A delay beyond the ack timeout is indistinguishable
+                // from a drop at the sender: the timer may fire first and
+                // retransmit; the late original is then dup-suppressed.
+                let timeout = res.deliver_at + self.cfg.costs.ack_timeout;
+                self.queue.schedule(timeout, Event::RetryTimeout { flight, attempt });
+                (Some(at), true)
+            }
+        };
+        if let Some(inf) = self.in_flight.get_mut(&flight) {
+            inf.at = at;
+            inf.pending_delivery = pending;
+        }
+        if let Some(f) = fault {
+            self.trace.emit(now, TraceCategory::Bus, None, || {
+                format!("wire fault on {:?}: flight {flight} attempt {attempt} {f:?}", res.bus)
+            });
+            self.maybe_quarantine();
+        }
+    }
+
+    /// Benches the active bus if it has produced `quarantine_after`
+    /// consecutive faulted windows and a healthy standby exists.
+    fn maybe_quarantine(&mut self) {
+        let now = self.now();
+        let Some(active) = self.bus.active() else { return };
+        if self.bus.consecutive_faults(active) < self.cfg.quarantine_after {
+            return;
+        }
+        if let Some(survivor) = self.bus.quarantine(active, now) {
+            self.stats.quarantines += 1;
+            self.trace.emit(now, TraceCategory::Bus, None, || {
+                format!(
+                    "{active:?} quarantined after {} consecutive wire faults; \
+                     traffic moves to {survivor:?}",
+                    self.cfg.quarantine_after
+                )
+            });
+            if !self.probing {
+                self.probing = true;
+                self.queue.schedule(now + self.cfg.costs.probe_interval, Event::BusProbe);
+            }
+        }
+    }
+
+    /// Retry timer fired: if the frame is still outstanding at the same
+    /// attempt, the implicit ack never came — retransmit.
+    fn on_retry_timeout(&mut self, flight: u64, attempt: u32) {
+        let Some(inf) = self.in_flight.get(&flight) else { return };
+        if inf.attempt != attempt {
+            return;
+        }
+        self.retransmit(flight, "ack timeout");
+    }
+
+    /// A receiver NAKed a corrupted copy of this frame: retransmit.
+    fn on_nak(&mut self, flight: u64, attempt: u32) {
+        let Some(inf) = self.in_flight.get(&flight) else { return };
+        if inf.attempt != attempt {
+            return;
+        }
+        self.retransmit(flight, "NAK");
+    }
+
+    /// Re-reserves a window for a still-outstanding frame, with
+    /// exponential backoff; abandons it past the retransmit budget.
+    fn retransmit(&mut self, flight: u64, why: &str) {
+        let now = self.now();
+        let Some(inf) = self.in_flight.get(&flight) else { return };
+        let (frame, bytes, attempt) = (inf.frame.clone(), inf.bytes, inf.attempt);
+        let next = attempt + 1;
+        if next > self.cfg.max_retransmits {
+            self.abandon_flight(flight, why);
+            return;
+        }
+        let backoff = self.cfg.costs.retransmit_backoff.saturating_mul(1u64 << attempt.min(6));
+        let xmit = self.cfg.costs.bus_xmit(bytes);
+        match self.bus.reserve_retry(now + backoff, xmit, bytes) {
+            Some(res) => {
+                self.stats.bus_busy += xmit;
+                self.stats.proto_retransmits += 1;
+                if let Some(inf) = self.in_flight.get_mut(&flight) {
+                    inf.attempt = next;
+                }
+                self.trace.emit(now, TraceCategory::Bus, None, || {
+                    format!("retransmit #{next} of flight {flight} ({why}) on {:?}", res.bus)
+                });
+                self.launch_wire(flight, frame, res, next);
+            }
+            None => self.abandon_flight(flight, "no healthy bus"),
+        }
+    }
+
+    /// Gives up on a frame for good: cancel any scheduled delivery and
+    /// consume its link slots so later traffic is not stalled behind it.
+    fn abandon_flight(&mut self, flight: u64, why: &str) {
+        let now = self.now();
+        if let Some(inf) = self.in_flight.remove(&flight) {
+            if let Some(at) = inf.at {
+                self.queue.cancel(at);
+            }
+            self.stats.frames_abandoned += 1;
+            self.links.skip(inf.frame.src_cluster.0, &link_pairs(&inf.frame));
+            self.trace.emit(now, TraceCategory::Bus, None, || {
+                format!(
+                    "flight {flight} abandoned after {} attempts ({why}): {:?} is lost",
+                    inf.attempt + 1,
+                    inf.frame.msg.id
+                )
+            });
+        }
+        self.drain_held();
+    }
+
+    /// Probes every quarantined bus; a clean probe heals the bus back to
+    /// standby duty. Re-probes periodically while any quarantine holds.
+    fn on_bus_probe(&mut self) {
+        let now = self.now();
+        let mut still_benched = false;
+        for bus in [BusKind::A, BusKind::B] {
+            if !self.bus.is_quarantined(bus) {
+                continue;
+            }
+            self.stats.probes += 1;
+            if self.bus.probe_ok(bus, now) {
+                self.bus.heal(bus);
+                self.stats.heals += 1;
+                self.trace.emit(now, TraceCategory::Bus, None, || {
+                    format!("probe on {bus:?} came back clean; healed to standby")
+                });
+            } else {
+                still_benched = true;
+                self.trace.emit(now, TraceCategory::Bus, None, || {
+                    format!("probe on {bus:?} lost; quarantine continues")
+                });
+            }
+        }
+        if still_benched {
+            self.queue.schedule(now + self.cfg.costs.probe_interval, Event::BusProbe);
+        } else {
+            self.probing = false;
         }
     }
 
@@ -589,28 +871,32 @@ impl World {
                 let flights: Vec<u64> = self.in_flight.keys().copied().collect();
                 let mut retransmitted = 0u64;
                 for flight in flights {
-                    let (frame, bytes) = {
+                    let (frame, bytes, attempt, pending, at) = {
                         let inf = &self.in_flight[&flight];
-                        (inf.frame.clone(), inf.bytes)
+                        (inf.frame.clone(), inf.bytes, inf.attempt, inf.pending_delivery, inf.at)
                     };
-                    if !self.queue.cancel(self.in_flight[&flight].at) {
+                    let cancelled = at.is_some_and(|at| self.queue.cancel(at));
+                    if !cancelled && pending && at.is_some() {
                         // Delivery fired at this very tick before the
                         // failure event: the frame made it.
                         self.in_flight.remove(&flight);
                         continue;
                     }
+                    // Otherwise the frame is genuinely outstanding
+                    // (scheduled, dropped-awaiting-timer, or a corrupt
+                    // copy en route): repeat it on the survivor. Bumping
+                    // the attempt invalidates any stale timer or NAK.
                     let xmit = self.cfg.costs.bus_xmit(bytes);
-                    let Some((start, deliver_at)) = self.bus.reserve(now, xmit, bytes) else {
+                    let Some(res) = self.bus.reserve_retry(now, xmit, bytes) else {
                         break; // Unreachable: the survivor was healthy.
                     };
                     self.stats.bus_busy += xmit;
                     self.stats.frames_retransmitted += 1;
                     retransmitted += 1;
-                    let at = self.queue.schedule(
-                        deliver_at,
-                        Event::BusDeliver { frame, xmit_start: start, flight },
-                    );
-                    self.in_flight.get_mut(&flight).expect("tracked above").at = at;
+                    if let Some(inf) = self.in_flight.get_mut(&flight) {
+                        inf.attempt = attempt + 1;
+                    }
+                    self.launch_wire(flight, frame, res, attempt + 1);
                 }
                 self.trace.emit(now, TraceCategory::Bus, None, || {
                     format!(
@@ -620,17 +906,23 @@ impl World {
             }
             None => {
                 // Double bus fault: the machine is partitioned from
-                // itself. Everything in flight is lost.
+                // itself. Everything in flight is lost; consume the lost
+                // frames' link slots so any frames already delivered out
+                // of order are not held forever behind them.
                 let lost = self.in_flight.len();
-                let flights: Vec<auros_sim::ScheduledAt> =
-                    self.in_flight.values().map(|f| f.at).collect();
-                for at in flights {
-                    self.queue.cancel(at);
+                let flights: Vec<u64> = self.in_flight.keys().copied().collect();
+                for flight in flights {
+                    if let Some(inf) = self.in_flight.remove(&flight) {
+                        if let Some(at) = inf.at {
+                            self.queue.cancel(at);
+                        }
+                        self.links.skip(inf.frame.src_cluster.0, &link_pairs(&inf.frame));
+                    }
                 }
-                self.in_flight.clear();
                 self.trace.emit(now, TraceCategory::Bus, None, || {
                     format!("both buses failed; {lost} in-flight frames lost")
                 });
+                self.drain_held();
             }
         }
     }
@@ -655,15 +947,78 @@ impl World {
     // ------------------------------------------------------------------
 
     fn deliver_frame(&mut self, frame: Frame, xmit_start: VTime, flight: u64) {
-        self.in_flight.remove(&flight);
+        let now = self.now();
+        // Integrity first: a mangled frame is rejected by every receiver
+        // checksum and NAKed back to the sending executive, which still
+        // holds the pristine copy in its in-flight ledger.
+        if !frame.verify() {
+            self.stats.corruptions_caught += 1;
+            self.trace.emit(now, TraceCategory::Bus, None, || {
+                format!(
+                    "checksum rejected corrupted {:?}; NAK to {}",
+                    frame.msg.id, frame.src_cluster
+                )
+            });
+            if let Some(inf) = self.in_flight.get(&flight) {
+                let attempt = inf.attempt;
+                self.stats.naks += 1;
+                self.queue
+                    .schedule(now + self.cfg.costs.nak_latency, Event::Nak { flight, attempt });
+            }
+            return;
+        }
         let src_ci = frame.src_cluster.0 as usize;
         if let Some(crashed) = self.clusters[src_ci].crashed_at {
             if crashed <= xmit_start {
                 // The source died before transmission began: the frame
-                // never made it onto the bus.
+                // never made it onto the bus. Its link slots are void.
+                self.in_flight.remove(&flight);
+                if flight != UNTRACKED_FLIGHT {
+                    self.links.skip(frame.src_cluster.0, &link_pairs(&frame));
+                    self.drain_held();
+                }
                 return;
             }
         }
+        // Link layer: suppress duplicates, hold frames behind a sequence
+        // gap. Ablation splits bypass it (they model the broken wire).
+        if flight != UNTRACKED_FLIGHT {
+            let pairs = link_pairs(&frame);
+            let clusters = &self.clusters;
+            match self.links.classify(frame.src_cluster.0, &pairs, |c| clusters[c as usize].alive) {
+                FrameClass::Duplicate => {
+                    self.in_flight.remove(&flight);
+                    self.stats.dup_suppressed += 1;
+                    self.trace.emit(now, TraceCategory::Bus, None, || {
+                        format!("duplicate {:?} suppressed by link layer", frame.msg.id)
+                    });
+                    return;
+                }
+                FrameClass::Hold => {
+                    self.in_flight.remove(&flight);
+                    self.trace.emit(now, TraceCategory::Bus, None, || {
+                        format!("{:?} held behind a link-sequence gap", frame.msg.id)
+                    });
+                    let key = self.next_hold;
+                    self.next_hold += 1;
+                    self.held_frames.insert(key, frame);
+                    return;
+                }
+                FrameClass::Ready => {
+                    self.in_flight.remove(&flight);
+                    self.links.advance(frame.src_cluster.0, &pairs);
+                }
+            }
+        }
+        self.process_frame(&frame);
+        if !self.held_frames.is_empty() {
+            self.drain_held();
+        }
+    }
+
+    /// Hands a verified, in-order frame to every live target — the §5.1
+    /// atomic three-way delivery, unchanged from the perfect-wire model.
+    fn process_frame(&mut self, frame: &Frame) {
         let now = self.now();
         self.trace.emit(now, TraceCategory::Bus, None, || {
             format!(
@@ -690,6 +1045,49 @@ impl World {
                 DeliveryTag::DestBackup(end) => self.deliver_dest_backup(cid, end, &frame.msg),
                 DeliveryTag::SenderBackup(end) => self.deliver_sender_backup(cid, end, &frame.msg),
                 DeliveryTag::Kernel => self.deliver_kernel(cid, frame.src_cluster, &frame.msg),
+            }
+        }
+    }
+
+    /// Re-examines held frames after link expectations moved (a gap
+    /// frame delivered, a loss was skipped, a cluster died or was
+    /// restored). Runs to a fixpoint; held keys are visited in arrival
+    /// order, so the drain is deterministic.
+    pub(crate) fn drain_held(&mut self) {
+        loop {
+            let keys: Vec<u64> = self.held_frames.keys().copied().collect();
+            let mut acted = false;
+            for key in keys {
+                let class = {
+                    let Some(frame) = self.held_frames.get(&key) else { continue };
+                    let pairs = link_pairs(frame);
+                    let clusters = &self.clusters;
+                    self.links.classify(frame.src_cluster.0, &pairs, |c| clusters[c as usize].alive)
+                };
+                match class {
+                    FrameClass::Hold => continue,
+                    FrameClass::Duplicate => {
+                        self.held_frames.remove(&key);
+                        self.stats.dup_suppressed += 1;
+                        acted = true;
+                        break;
+                    }
+                    FrameClass::Ready => {
+                        let Some(frame) = self.held_frames.remove(&key) else { continue };
+                        self.links.advance(frame.src_cluster.0, &link_pairs(&frame));
+                        self.stats.frames_reordered += 1;
+                        let now = self.now();
+                        self.trace.emit(now, TraceCategory::Bus, None, || {
+                            format!("gap closed; held {:?} delivered in order", frame.msg.id)
+                        });
+                        self.process_frame(&frame);
+                        acted = true;
+                        break;
+                    }
+                }
+            }
+            if !acted {
+                return;
             }
         }
     }
@@ -728,16 +1126,33 @@ impl World {
         if let Payload::FsReply(auros_bus::proto::FsReply::OpenReply { init, .. }) = &msg.payload {
             self.create_backup_entry_from_init(cid, init);
         }
+        let limit = self.cfg.backup_queue_limit;
         let c = &mut self.clusters[ci];
         if c.routing.has_backup(&end) {
             let seq = c.routing.stamp();
             let be = c.routing.backup_mut(&end).expect("checked above");
             be.queue.push_back(Queued { arrival_seq: seq, msg: msg.clone() });
+            let depth = be.queue.len() as u64;
+            let owner = be.owner;
+            // Backpressure (§5.2's message-count trigger): when the
+            // queue reaches its bound, demand a synchronization from the
+            // owner's primary — once per episode, re-armed by the sync.
+            let mut demand = false;
+            if let Some(limit) = limit {
+                if depth >= limit as u64 && !be.sync_demanded {
+                    be.sync_demanded = true;
+                    demand = true;
+                }
+            }
             self.stats.clusters[ci].backup_msgs += 1;
+            self.stats.max_backup_queue_depth = self.stats.max_backup_queue_depth.max(depth);
             let now = self.now();
             self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
                 format!("backup save {:?} on {:?} seq {seq} src {}", msg.id, end, msg.src)
             });
+            if demand {
+                self.demand_sync(cid, owner);
+            }
             return;
         }
         // The backup may have been promoted moments ago (in-flight frame
@@ -745,6 +1160,29 @@ impl World {
         if c.routing.has_primary(&end) {
             self.deliver_primary(cid, end, msg);
         }
+    }
+
+    /// Backpressure: the backup cluster `cid` holds a near-full backup
+    /// queue for `owner`; demand a synchronization from the owner's
+    /// primary kernel. The sync trims the queue (§7.8) and stalls the
+    /// sender for the sync enqueue (§8.3) — throughput degrades instead
+    /// of memory growing without bound.
+    fn demand_sync(&mut self, cid: ClusterId, owner: Pid) {
+        let ci = cid.0 as usize;
+        let primary = self.clusters[ci].backups.get(&owner).map(|r| r.primary_cluster);
+        let Some(pc) = primary else { return };
+        if !self.clusters[pc.0 as usize].alive {
+            return;
+        }
+        let now = self.now();
+        self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
+            format!("backup queue for {owner} at its bound; demanding sync from {pc}")
+        });
+        self.send_control(
+            cid,
+            vec![(pc, DeliveryTag::Kernel)],
+            Payload::Control(auros_bus::proto::Control::SyncDemand { pid: owner }),
+        );
     }
 
     /// §7.4.2 (3): count and discard at the sender's backup. The §10

@@ -1,11 +1,13 @@
 //! The seeded chaos sweep and the fault-plan DSL's validation.
 //!
 //! The sweep samples ≥100 random fault plans — cluster crashes, bus
-//! failures, disk-mirror failures, and sequenced double faults — and
-//! holds each to the survivability oracle: plans inside the paper's
-//! fault model must be externally indistinguishable from the fault-free
-//! twin and leave the survivors structurally sound; plans outside it
-//! must be *reported* unsurvivable, never silently corrupt.
+//! failures, disk-mirror failures, sequenced double faults, and
+//! transient wire faults (drops, corruptions, duplications, delays,
+//! flaky-bus windows) — and holds each to the survivability oracle:
+//! plans inside the paper's fault model must be externally
+//! indistinguishable from the fault-free twin and leave the survivors
+//! structurally sound; plans outside it must be *reported*
+//! unsurvivable, never silently corrupt.
 
 use auros::chaos::{run_sweep, ChaosConfig, PlanKind};
 use auros::fault::FaultPlanError;
@@ -23,7 +25,7 @@ fn chaos_sweep_of_120_seeded_plans_upholds_the_oracle() {
     for kind in PlanKind::ALL {
         assert!(report.count_of(kind) > 0, "kind {kind:?} never sampled:\n{}", report.summary());
     }
-    // Survivable plans dominate the distribution (6 of 8 shapes).
+    // Survivable plans dominate the distribution (8 of 10 shapes).
     assert!(report.survived() >= report.outcomes.len() / 2, "{}", report.summary());
     // Crash-bearing plans must have recorded a recovery latency.
     let crash_latencies = report
@@ -33,6 +35,18 @@ fn chaos_sweep_of_120_seeded_plans_upholds_the_oracle() {
         .filter(|o| o.recovery_latency.is_some())
         .count();
     assert!(crash_latencies > 0, "no recovery latency recorded:\n{}", report.summary());
+}
+
+/// The CI smoke subset: a small fixed-seed sweep chosen so the sampled
+/// shapes include transient wire-fault plans. Fast enough for a
+/// per-push gate; the full 120-plan sweep stays in the main suite.
+#[test]
+fn chaos_smoke() {
+    let report = run_sweep(&ChaosConfig { seed: 0xA42_0002, plans: 24 });
+    assert!(report.failures.is_empty(), "oracle failures:\n{}", report.summary());
+    let transients =
+        report.count_of(PlanKind::TransientMix) + report.count_of(PlanKind::FlakyBusWindow);
+    assert!(transients > 0, "smoke seed sampled no transient plans:\n{}", report.summary());
 }
 
 #[test]
@@ -119,6 +133,27 @@ fn partial_failure_of_missing_spawn_is_a_clean_builder_error() {
     let mut b = plain_builder();
     b.fail_process_at(VTime(5_000), 1);
     assert_eq!(b.try_build().err(), Some(FaultPlanError::SpawnOutOfRange { spawn: 1, spawns: 1 }));
+}
+
+#[test]
+fn empty_flaky_window_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.flaky_bus(VTime(9_000), VTime(5_000), auros::bus::BusKind::A);
+    assert_eq!(
+        b.try_build().err(),
+        Some(FaultPlanError::EmptyFlakyWindow { from: VTime(9_000), until: VTime(5_000) })
+    );
+}
+
+#[test]
+fn transient_aimed_past_both_bus_failures_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.bus_fail_at(VTime(5_000)).bus_fail_at(VTime(6_000)).drop_frame_at(VTime(8_000));
+    assert_eq!(b.try_build().err(), Some(FaultPlanError::TransientOnDeadBus { at: VTime(8_000) }));
+    // Ahead of the second failure the drop still has a wire to strike.
+    let mut b = plain_builder();
+    b.bus_fail_at(VTime(5_000)).bus_fail_at(VTime(9_000)).drop_frame_at(VTime(7_000));
+    assert!(b.try_build().is_ok());
 }
 
 #[test]
