@@ -1,0 +1,143 @@
+//! `auros-trace`: dump and diff flight-recorder streams.
+//!
+//! ```sh
+//! # Dump a seeded run's event stream (optionally filtered/bounded):
+//! cargo run -p auros-bench --bin auros-trace -- dump pingpong --seed 7
+//! cargo run -p auros-bench --bin auros-trace -- dump bank --seed 3 --cat Crash --last 40
+//!
+//! # Diff two runs of the same scenario; exits 1 on divergence and
+//! # prints the first divergent event with context:
+//! cargo run -p auros-bench --bin auros-trace -- diff pingpong --seed-a 7 --seed-b 8
+//! ```
+//!
+//! Every run is a pure function of `(scenario, seed)`, so `diff` with
+//! equal seeds is the determinism check CI runs, and with different
+//! seeds it demonstrates divergence localization.
+
+use std::process::ExitCode;
+
+use auros::sim::TraceCategory;
+use auros_bench::flight;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: auros-trace dump <scenario> [--seed N] [--cat CATEGORY]... [--last N] [--ring N]\n\
+         \x20      auros-trace diff <scenario> [--seed-a N] [--seed-b N] [--cat CATEGORY]...\n\
+         \x20      auros-trace scenarios\n\
+         scenarios: {}",
+        flight::SCENARIOS.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+/// Parsed `--flag value` options (flags may repeat).
+struct Opts {
+    scenario: String,
+    seed: u64,
+    seed_b: u64,
+    cats: Vec<TraceCategory>,
+    last: usize,
+    ring: usize,
+}
+
+fn parse_cat(name: &str) -> Option<TraceCategory> {
+    TraceCategory::ALL.into_iter().find(|c| format!("{c:?}").eq_ignore_ascii_case(name))
+}
+
+fn parse(mut args: std::env::Args) -> Option<Opts> {
+    let scenario = args.next()?;
+    let mut o = Opts { scenario, seed: 1, seed_b: 2, cats: Vec::new(), last: 0, ring: 0 };
+    while let Some(flag) = args.next() {
+        let val = args.next()?;
+        match flag.as_str() {
+            "--seed" | "--seed-a" => o.seed = val.parse().ok()?,
+            "--seed-b" => o.seed_b = val.parse().ok()?,
+            "--cat" => o.cats.push(parse_cat(&val)?),
+            "--last" => o.last = val.parse().ok()?,
+            "--ring" => o.ring = val.parse().ok()?,
+            _ => return None,
+        }
+    }
+    Some(o)
+}
+
+fn selected(o: &Opts, sys: &auros::System) -> Vec<auros::sim::TraceEvent> {
+    let events: Vec<_> = sys
+        .world
+        .trace
+        .events()
+        .filter(|e| o.cats.is_empty() || o.cats.contains(&e.category()))
+        .copied()
+        .collect();
+    let skip = if o.last > 0 { events.len().saturating_sub(o.last) } else { 0 };
+    events[skip..].to_vec()
+}
+
+fn dump(o: &Opts) -> ExitCode {
+    let Some(sys) = flight::run_scenario(&o.scenario, o.seed, o.ring) else {
+        return usage();
+    };
+    let evicted = sys.world.trace.evicted();
+    let events = selected(o, &sys);
+    let total = sys.world.trace.len();
+    for (i, e) in events.iter().enumerate() {
+        println!("{}", flight::format_event(i, e));
+    }
+    println!("-- {} shown of {total} retained ({evicted} evicted)", events.len());
+    for cat in TraceCategory::ALL {
+        let fp = sys.world.trace.fingerprint(cat);
+        if fp != 0 {
+            println!("-- fingerprint {cat:?}: {fp:#018x}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn diff(o: &Opts) -> ExitCode {
+    let (Some(a), Some(b)) = (
+        flight::run_scenario(&o.scenario, o.seed, o.ring),
+        flight::run_scenario(&o.scenario, o.seed_b, o.ring),
+    ) else {
+        return usage();
+    };
+    let left = selected(o, &a);
+    let right = selected(o, &b);
+    match flight::diff_report(&left, &right) {
+        None => {
+            println!(
+                "identical: {} events, seeds {} and {} ({})",
+                left.len(),
+                o.seed,
+                o.seed_b,
+                o.scenario
+            );
+            ExitCode::SUCCESS
+        }
+        Some(report) => {
+            print!("{report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    match args.next().as_deref() {
+        Some("scenarios") => {
+            for s in flight::SCENARIOS {
+                println!("{s}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("dump") => match parse(args) {
+            Some(o) => dump(&o),
+            None => usage(),
+        },
+        Some("diff") => match parse(args) {
+            Some(o) => diff(&o),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

@@ -174,8 +174,7 @@ pub fn e4_recovery() -> Table {
                 .world
                 .trace
                 .events()
-                .iter()
-                .find(|e| e.what.contains("promoting backup"))
+                .find(|e| matches!(e.kind, auros::sim::TraceKind::PromotingBackup { .. }))
                 .map(|e| e.at.ticks())
                 .unwrap_or(crash_at);
             t.row(vec![
@@ -211,8 +210,7 @@ pub fn e4_recovery() -> Table {
             .world
             .trace
             .events()
-            .iter()
-            .find(|e| e.what.contains("promoting backup"))
+            .find(|e| matches!(e.kind, auros::sim::TraceKind::PromotingBackup { .. }))
             .map(|e| e.at.ticks())
             .unwrap_or(30_000);
         t.row(vec![

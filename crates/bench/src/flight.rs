@@ -1,0 +1,123 @@
+//! Flight-recorder harness: seeded scenario runs for `auros-trace`.
+//!
+//! The trace subsystem (`auros_sim::trace`) records what the kernel did;
+//! this module gives the `auros-trace` binary (and tests) canonical
+//! seeded workloads to record. Every scenario is a pure function of its
+//! seed, so two runs with the same seed produce byte-identical event
+//! streams and two runs with different seeds diverge at the first
+//! scheduling decision the seed touched — which is exactly what the
+//! differ is for.
+
+use auros::sim::{DetRng, TraceEvent, TraceLog};
+use auros::{programs, BackupMode, System, SystemBuilder, VTime};
+
+/// Hard stop for scenario runs, far beyond normal completion.
+pub const DEADLINE: VTime = VTime(400_000_000);
+
+/// Scenario names `auros-trace` accepts.
+pub const SCENARIOS: &[&str] = &["pingpong", "bank", "files_tty"];
+
+/// Builds a scenario system. The seed picks the fault-injection timing
+/// (and victim), so it perturbs the recorded event stream without
+/// changing the externally visible outcome — crash transparency (§3.3)
+/// keeps the digest fixed while the flight recorder sees every wrinkle.
+pub fn build_scenario(name: &str, seed: u64) -> Option<System> {
+    let mut rng = DetRng::seed(seed);
+    let mut b = SystemBuilder::new(3);
+    match name {
+        "pingpong" => {
+            b.spawn_with_mode(0, programs::pingpong("ft", 60, true), BackupMode::Fullback);
+            b.spawn_with_mode(1, programs::pingpong("ft", 60, false), BackupMode::Fullback);
+            b.crash_at(VTime(rng.range(3_000, 40_000)), rng.below(2) as u16);
+        }
+        "bank" => {
+            b.spawn_with_mode(0, programs::bank_server("ft", 64), BackupMode::Fullback);
+            b.spawn_with_mode(1, programs::bank_client("ft", 64, 16, 9), BackupMode::Fullback);
+            b.crash_at(VTime(rng.range(3_000, 30_000)), rng.below(2) as u16);
+        }
+        "files_tty" => {
+            b.terminals(1);
+            b.spawn(0, programs::file_writer("/ft", 6, 256));
+            b.spawn(1, programs::tty_session("tty:0", 1));
+            b.type_at(VTime(rng.range(20_000, 60_000)), 0, b"flight\n");
+        }
+        _ => return None,
+    }
+    Some(b.build())
+}
+
+/// Builds and runs a scenario with the flight recorder on; `ring = 0`
+/// captures unbounded. Panics if the workload misses the deadline —
+/// scenario runs are diagnostics, a hang is its own finding.
+pub fn run_scenario(name: &str, seed: u64, ring: usize) -> Option<System> {
+    let mut sys = build_scenario(name, seed)?;
+    sys.world.trace = if ring == 0 { TraceLog::capture_all() } else { TraceLog::ring(ring) };
+    assert!(sys.run(DEADLINE), "scenario {name} (seed {seed}) must complete");
+    Some(sys)
+}
+
+/// One event, one line: `#index vt=… c0 [Category] message`.
+pub fn format_event(index: usize, e: &TraceEvent) -> String {
+    let loc = match e.cluster() {
+        Some(c) => format!("c{c}"),
+        None => "world".to_string(),
+    };
+    format!("#{index} vt={} {loc} [{:?}] {}", e.at.ticks(), e.category(), e.what())
+}
+
+/// Renders the first divergence between two event streams as a readable
+/// report: shared context, then the two sides. `None` means the streams
+/// are identical (same length, same events).
+pub fn diff_report(left: &[TraceEvent], right: &[TraceEvent]) -> Option<String> {
+    use std::fmt::Write as _;
+    let div = auros::sim::first_divergence(left, right)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "streams diverge at event #{} (vt {})", div.index, div.at());
+    let start = div.index - div.context.len();
+    for (k, e) in div.context.iter().enumerate() {
+        let _ = writeln!(out, "  = {}", format_event(start + k, e));
+    }
+    match &div.left {
+        Some(e) => {
+            let _ = writeln!(out, "  < {}", format_event(div.index, e));
+        }
+        None => {
+            let _ = writeln!(out, "  < (stream ends at event #{})", div.index);
+        }
+    }
+    match &div.right {
+        Some(e) => {
+            let _ = writeln!(out, "  > {}", format_event(div.index, e));
+        }
+        None => {
+            let _ = writeln!(out, "  > (stream ends at event #{})", div.index);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_streams_are_identical() {
+        let a = run_scenario("pingpong", 7, 0).unwrap().world.trace.snapshot();
+        let b = run_scenario("pingpong", 7, 0).unwrap().world.trace.snapshot();
+        assert!(diff_report(&a, &b).is_none(), "same seed must not diverge");
+    }
+
+    #[test]
+    fn different_seeds_diverge_with_context() {
+        let a = run_scenario("pingpong", 7, 0).unwrap().world.trace.snapshot();
+        let b = run_scenario("pingpong", 8, 0).unwrap().world.trace.snapshot();
+        let report = diff_report(&a, &b).expect("different crash times must diverge");
+        assert!(report.contains("streams diverge at event #"), "got: {report}");
+        assert!(report.contains("vt="), "divergent line carries virtual time: {report}");
+    }
+
+    #[test]
+    fn unknown_scenario_is_refused() {
+        assert!(build_scenario("nope", 1).is_none());
+    }
+}

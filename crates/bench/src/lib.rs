@@ -12,6 +12,7 @@
 //! records claim-vs-measured for every row.
 
 pub mod experiments;
+pub mod flight;
 pub mod table;
 
 pub use experiments::*;

@@ -74,6 +74,12 @@ impl ChanEnd {
     }
 }
 
+impl From<ChanEnd> for auros_sim::TraceEnd {
+    fn from(end: ChanEnd) -> auros_sim::TraceEnd {
+        auros_sim::TraceEnd { channel: end.channel.0, side_b: end.side == Side::B }
+    }
+}
+
 /// How a process is backed up (§7.3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum BackupMode {

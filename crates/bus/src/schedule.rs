@@ -41,6 +41,15 @@ pub struct BusCounters {
     pub retries: u64,
 }
 
+impl From<BusKind> for auros_sim::trace::TraceBus {
+    fn from(b: BusKind) -> auros_sim::trace::TraceBus {
+        match b {
+            BusKind::A => auros_sim::trace::TraceBus::A,
+            BusKind::B => auros_sim::trace::TraceBus::B,
+        }
+    }
+}
+
 /// A transient fault the wire inflicts on one transmission window.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WireFault {
@@ -53,6 +62,17 @@ pub enum WireFault {
     Duplicate,
     /// The frame arrives late by the given extra ticks.
     Delay(Dur),
+}
+
+impl From<WireFault> for auros_sim::trace::TraceWireFault {
+    fn from(w: WireFault) -> auros_sim::trace::TraceWireFault {
+        match w {
+            WireFault::Drop => auros_sim::trace::TraceWireFault::Drop,
+            WireFault::Corrupt => auros_sim::trace::TraceWireFault::Corrupt,
+            WireFault::Duplicate => auros_sim::trace::TraceWireFault::Duplicate,
+            WireFault::Delay(d) => auros_sim::trace::TraceWireFault::Delay(d.as_ticks()),
+        }
+    }
 }
 
 /// An exclusive transmission window granted by [`BusSchedule::reserve`].
@@ -358,6 +378,21 @@ impl BusSchedule {
         }
         let busy = self.a.busy + self.b.busy;
         busy * 1000 / now.ticks()
+    }
+
+    /// Publishes both buses' traffic ledgers into the metrics registry.
+    pub fn publish_metrics(&self, reg: &mut auros_sim::MetricsRegistry) {
+        for (name, c, failed, quarantined) in [
+            ("bus.a", &self.a, self.a_failed, self.a_quarantined),
+            ("bus.b", &self.b, self.b_failed, self.b_quarantined),
+        ] {
+            reg.set(&format!("{name}.frames"), c.frames);
+            reg.set(&format!("{name}.bytes"), c.bytes);
+            reg.set(&format!("{name}.busy_ticks"), c.busy);
+            reg.set(&format!("{name}.retries"), c.retries);
+            reg.set(&format!("{name}.failed"), failed as u64);
+            reg.set(&format!("{name}.quarantined"), quarantined as u64);
+        }
     }
 }
 

@@ -564,6 +564,14 @@ impl System {
         best.map(|p| (p.total_wait.as_ticks(), p.waits, p.max_wait.as_ticks())).unwrap_or((0, 0, 0))
     }
 
+    /// Collects every published counter and histogram — kernel ledgers,
+    /// bus schedule, and each live server — into one registry.
+    pub fn metrics(&self) -> auros_sim::MetricsRegistry {
+        let mut reg = auros_sim::MetricsRegistry::new();
+        self.world.publish_metrics(&mut reg);
+        reg
+    }
+
     /// The page server's live state (test oracle).
     pub fn pager_state(&self) -> Option<PageServer> {
         self.world

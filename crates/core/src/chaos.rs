@@ -33,6 +33,10 @@ use crate::{programs, System, SystemBuilder};
 const CLUSTERS: u16 = 4;
 /// Hard stop for each run, far beyond normal completion.
 const DEADLINE: VTime = VTime(5_000_000);
+/// Flight-recorder depth: every run keeps its most recent events in a
+/// bounded ring so a failing plan can be localized without paying for
+/// unbounded capture across hundreds of sweeps.
+const RING_DEPTH: usize = 4096;
 
 /// Sweep parameters.
 #[derive(Clone, Debug)]
@@ -292,7 +296,12 @@ fn build(plan: &[FaultEvent]) -> System {
     let mut b = SystemBuilder::new(CLUSTERS);
     workload(&mut b);
     b.fault_plan(plan.iter().copied());
-    b.try_build().expect("sampled plans are always well-formed")
+    let mut sys = b.try_build().expect("sampled plans are always well-formed");
+    // Flight recorder on: every category, bounded ring (§ the fingerprints
+    // still cover all emitted events, so eviction loses storage, not
+    // evidence).
+    sys.world.trace = auros_sim::TraceLog::ring(RING_DEPTH);
+    sys
 }
 
 /// Runs the sweep.
@@ -301,6 +310,7 @@ pub fn run_sweep(cfg: &ChaosConfig) -> ChaosReport {
     let mut clean_sys = build(&[]);
     assert!(clean_sys.run(DEADLINE), "the fault-free workload must complete");
     let clean: RunDigest = clean_sys.digest();
+    let clean_trace = clean_sys.world.trace.snapshot();
 
     let mut rng = DetRng::seed(cfg.seed);
     let mut outcomes = Vec::with_capacity(cfg.plans);
@@ -320,8 +330,15 @@ pub fn run_sweep(cfg: &ChaosConfig) -> ChaosReport {
                 survival.ok()
             }
             Some(d) => {
+                // Localize: where did the faulted run's event stream first
+                // depart from the fault-free twin's? Purely diagnostic —
+                // the verdict is still the digest comparison above.
+                let faulted_trace = sys.world.trace.snapshot();
+                let div = auros_sim::first_divergence(&clean_trace, &faulted_trace)
+                    .map(|dv| format!("; {dv}"))
+                    .unwrap_or_default();
                 violation = Some(format!(
-                    "completed with diverging output (faulted {:#x}, clean {:#x})",
+                    "completed with diverging output (faulted {:#x}, clean {:#x}){div}",
                     d.fingerprint(),
                     clean.fingerprint()
                 ));

@@ -549,6 +549,14 @@ impl ServerLogic for FileServer {
         true
     }
 
+    fn publish_metrics(&self, reg: &mut auros_sim::MetricsRegistry) {
+        reg.set("fs.requests", self.requests);
+        reg.set("fs.explicit_syncs", self.explicit_syncs);
+        reg.set("fs.files", self.root.len() as u64);
+        reg.set("fs.dirty_blocks", self.cache.len() as u64);
+        reg.set("fs.open_cursors", self.channels.len() as u64);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -16,7 +16,7 @@
 
 use auros_bus::proto::{Control, KernelState, PageBlob, Payload, ProcessImage, SyncRecord};
 use auros_bus::{ClusterId, DeliveryTag, Pid};
-use auros_sim::TraceCategory;
+use auros_sim::{Loc, TraceKind};
 use auros_vm::{PageNo, Snapshot, PAGE_SIZE};
 
 use crate::world::World;
@@ -84,9 +84,11 @@ impl World {
         }
         self.stats.clusters[ci].checkpoints += 1;
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Sync, Some(cid.0), || {
-            format!("{pid} checkpoints {} bytes (#{ckpt_no})", bytes)
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::Checkpoint { pid: pid.0, bytes: bytes as u64, number: ckpt_no },
+        );
         let record = SyncRecord {
             pid,
             sync_seq: ckpt_no,

@@ -10,7 +10,7 @@
 
 use auros_bus::proto::{BackupMode, PagerRequest, ProcRequest, ProcessImage};
 use auros_bus::{ClusterId, DeliveryTag, Fd, Pid};
-use auros_sim::TraceCategory;
+use auros_sim::{Loc, TraceKind};
 use auros_vm::Machine;
 
 use crate::cluster::Cluster;
@@ -30,7 +30,7 @@ impl World {
         self.clusters[ci].alive = false;
         self.clusters[ci].crashed_at = Some(now);
         self.stats.note_crash(cid, now);
-        self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || "cluster crashed".into());
+        self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::ClusterCrashed);
         // The live-target set shrank: frames held only because the dead
         // cluster had a link-sequence gap may now be deliverable.
         self.drain_held();
@@ -59,9 +59,11 @@ impl World {
         // Both work processors run the crash processes for the window.
         self.stats.clusters[ci].work_busy += span.saturating_mul(c.work_free.len() as u64);
         self.queue.schedule(now + span, Event::CrashWorkDone { cluster: cid, dead });
-        self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-            format!("crash handling for {dead} begins ({entries} entries to scan)")
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::CrashHandlingBegin { dead: dead.0, entries: entries as u64 },
+        );
     }
 
     /// The crash-handling processes complete: perform the five steps.
@@ -159,9 +161,7 @@ impl World {
                 self.try_unblock(cid, owner);
             }
         }
-        self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-            format!("crash handling for {dead} complete")
-        });
+        self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::CrashHandlingDone { dead: dead.0 });
         self.try_dispatch(cid);
     }
 
@@ -189,9 +189,11 @@ impl World {
         let now = self.now();
         match chosen {
             Some(new_cluster) => {
-                self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-                    format!("new backup for {pid} placed at {new_cluster}")
-                });
+                self.trace.emit(
+                    now,
+                    Loc::Cluster(cid.0),
+                    TraceKind::BackupPlaced { pid: pid.0, cluster: new_cluster.0 },
+                );
                 if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
                     if pcb.is_dead() {
                         return;
@@ -207,9 +209,11 @@ impl World {
             None => {
                 // No cluster qualifies (e.g. a two-cluster system): the
                 // process must run unprotected.
-                self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-                    format!("no cluster available for {pid}'s new backup; running unprotected")
-                });
+                self.trace.emit(
+                    now,
+                    Loc::Cluster(cid.0),
+                    TraceKind::NoBackupCluster { pid: pid.0 },
+                );
                 let resume = {
                     let c = &mut self.clusters[ci];
                     match c.procs.get_mut(&pid) {
@@ -242,9 +246,11 @@ impl World {
             return;
         };
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-            format!("promoting backup of {pid} (sync gen {})", record.sync_seq)
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::PromotingBackup { pid: pid.0, gen: record.sync_seq },
+        );
         // Rebuild the body from the stored image.
         let image: &dyn ProcessImage = &*record.image;
         let body = if let Some(snap) = image.as_any().downcast_ref::<auros_vm::Snapshot>() {
@@ -252,9 +258,11 @@ impl World {
                 // A user backup without program text cannot be rebuilt.
                 // Promotion runs while the system is already degraded, so
                 // abandon this process rather than panic mid-recovery.
-                self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-                    format!("backup of {pid} lacks program text; promotion abandoned")
-                });
+                self.trace.emit(
+                    now,
+                    Loc::Cluster(cid.0),
+                    TraceKind::PromotionAbandoned { pid: pid.0 },
+                );
                 return;
             };
             ProcessBody::User(Box::new(Machine::restore(program, snap)))
@@ -360,9 +368,7 @@ impl World {
             return;
         };
         let ci = cid.0 as usize;
-        self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-            format!("partial failure kills {pid}; cluster stays up")
-        });
+        self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::PartialFailure { pid: pid.0 });
         // The process dies in place: its address space is gone. Its
         // kernel-side entries are dropped (the backup's saved queues
         // hold everything unread since the last sync). No exit status is
@@ -429,8 +435,7 @@ impl World {
         // The rebooted kernel re-establishes its ports to the global
         // servers (the dead incarnation's entries were closed).
         self.wire_kernel_ports_for(cid, true);
-        self.trace
-            .emit(now, TraceCategory::Crash, Some(cid.0), || "cluster restored to service".into());
+        self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::ClusterRestored);
         // Halfbacks that lost their backup get a new one here (§7.3).
         let candidates: Vec<(ClusterId, Pid)> = self
             .clusters

@@ -210,6 +210,10 @@ pub trait ServerLogic: std::fmt::Debug + Send + Sync {
         false
     }
 
+    /// Publishes the server's counters into the metrics registry. The
+    /// default publishes nothing; servers with ledgers override it.
+    fn publish_metrics(&self, _reg: &mut auros_sim::MetricsRegistry) {}
+
     /// Downcast support for test oracles.
     fn as_any(&self) -> &dyn Any;
 }

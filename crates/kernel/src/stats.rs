@@ -188,6 +188,66 @@ impl WorldStats {
     pub fn max_recovery_latency(&self) -> Option<Dur> {
         self.recoveries.iter().filter_map(|r| r.latency()).max()
     }
+
+    /// Publishes every ledger — global, per-cluster, and the recovery
+    /// latency histogram — into the metrics registry under `kernel.*`
+    /// and `cluster.<i>.*` names.
+    pub fn publish_metrics(&self, reg: &mut auros_sim::MetricsRegistry) {
+        for (name, v) in [
+            ("kernel.bus_frames", self.bus_frames),
+            ("kernel.bus_bytes", self.bus_bytes),
+            ("kernel.bus_busy_ticks", self.bus_busy.as_ticks()),
+            ("kernel.exits", self.exits),
+            ("kernel.crashes", self.crashes),
+            ("kernel.bus_failovers", self.bus_failovers),
+            ("kernel.frames_retransmitted", self.frames_retransmitted),
+            ("kernel.disk_half_faults", self.disk_half_faults),
+            ("kernel.wire_drops", self.wire_drops),
+            ("kernel.wire_corruptions", self.wire_corruptions),
+            ("kernel.wire_duplicates", self.wire_duplicates),
+            ("kernel.wire_delays", self.wire_delays),
+            ("kernel.corruptions_caught", self.corruptions_caught),
+            ("kernel.naks", self.naks),
+            ("kernel.proto_retransmits", self.proto_retransmits),
+            ("kernel.frames_abandoned", self.frames_abandoned),
+            ("kernel.dup_suppressed", self.dup_suppressed),
+            ("kernel.frames_reordered", self.frames_reordered),
+            ("kernel.quarantines", self.quarantines),
+            ("kernel.heals", self.heals),
+            ("kernel.probes", self.probes),
+            ("kernel.forced_syncs", self.forced_syncs),
+            ("kernel.max_backup_queue_depth", self.max_backup_queue_depth),
+            ("kernel.now_ticks", self.now.ticks()),
+        ] {
+            reg.set(name, v);
+        }
+        for (i, c) in self.clusters.iter().enumerate() {
+            for (field, v) in [
+                ("work_busy_ticks", c.work_busy.as_ticks()),
+                ("exec_busy_ticks", c.exec_busy.as_ticks()),
+                ("crash_busy_ticks", c.crash_busy.as_ticks()),
+                ("frames_sent", c.frames_sent),
+                ("deliveries", c.deliveries),
+                ("primary_msgs", c.primary_msgs),
+                ("backup_msgs", c.backup_msgs),
+                ("write_counts", c.write_counts),
+                ("syncs", c.syncs),
+                ("checkpoints", c.checkpoints),
+                ("pages_flushed", c.pages_flushed),
+                ("page_faults", c.page_faults),
+                ("backups_created", c.backups_created),
+                ("promotions", c.promotions),
+                ("suppressed_sends", c.suppressed_sends),
+            ] {
+                reg.set(&format!("cluster.{i}.{field}"), v);
+            }
+        }
+        for r in &self.recoveries {
+            if let Some(l) = r.latency() {
+                reg.observe("kernel.recovery_latency_ticks", l.as_ticks());
+            }
+        }
+    }
 }
 
 #[cfg(test)]

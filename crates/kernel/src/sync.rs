@@ -17,7 +17,7 @@ use auros_bus::proto::{
     SharedImage, SyncRecord,
 };
 use auros_bus::{ClusterId, DeliveryTag, Message, Pid};
-use auros_sim::TraceCategory;
+use auros_sim::{Loc, TraceKind};
 
 use crate::cluster::{BackupRecord, BirthRecord};
 use crate::process::{BlockState, ProcessBody, ProcessState};
@@ -125,9 +125,11 @@ impl World {
         }
         self.stats.clusters[ci].work_busy += self.cfg.costs.sync_build;
         self.stats.clusters[ci].syncs += 1;
-        self.trace.emit(now, TraceCategory::Sync, Some(cid.0), || {
-            format!("{pid} syncs (gen {}) flushing {flushed} pages", record.sync_seq)
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::SyncStart { pid: pid.0, gen: record.sync_seq, flushed },
+        );
         self.send_control(cid, targets, Payload::Control(Control::Sync(Arc::new(record))));
 
         if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
@@ -299,9 +301,7 @@ impl World {
         }
         self.stats.forced_syncs += 1;
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Sync, Some(cid.0), || {
-            format!("backpressure: forced sync of {pid}")
-        });
+        self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::ForcedSync { pid: pid.0 });
         self.perform_sync(cid, pid);
     }
 
@@ -424,9 +424,11 @@ impl World {
         let c = &mut self.clusters[ci];
         c.exec_free = c.exec_free.max(now) + cost;
         self.stats.clusters[ci].exec_busy += cost;
-        self.trace.emit(now, TraceCategory::Sync, Some(cid.0), || {
-            format!("applied sync gen {} for {pid} (new={is_new})", rec.sync_seq)
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::SyncApplied { pid: pid.0, gen: rec.sync_seq, is_new },
+        );
         // A re-protection rebuild announces the new backup to everyone
         // (§7.10.1 step 1's "notification"); a routine first sync does
         // not (peers were wired with the backup cluster from birth).
@@ -463,12 +465,15 @@ impl World {
             },
         );
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Process, Some(cid.0), || {
-            format!(
-                "birth notice: {} fork #{} -> {}",
-                notice.parent, notice.fork_index, notice.child
-            )
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::BirthNotice {
+                parent: notice.parent.0,
+                fork_index: notice.fork_index,
+                child: notice.child.0,
+            },
+        );
     }
 
     /// Repairs routing after a new backup is announced; releases

@@ -17,7 +17,8 @@ use auros_bus::proto::{
     ServiceKind,
 };
 use auros_bus::{ClusterId, DeliveryTag, Fd, Pid, Sig};
-use auros_sim::{Dur, TraceCategory};
+use auros_sim::trace::TraceFault;
+use auros_sim::{Dur, Loc, TraceKind};
 use auros_vm::inst::regs::{R0, R1, R2, R3};
 use auros_vm::mem::Access;
 use auros_vm::{Exit, PageNo, Sys};
@@ -55,6 +56,17 @@ impl ServerEffects {
             sync_after: ctx.sync_after,
             extra_work: ctx.extra_work,
         }
+    }
+}
+
+/// Maps a VM fault into its trace mirror (the trace crate cannot see
+/// `auros_vm` without inverting the dependency layering).
+fn trace_fault(err: auros_vm::VmError) -> TraceFault {
+    match err {
+        auros_vm::VmError::BadPc(pc) => TraceFault::BadPc(pc as u64),
+        auros_vm::VmError::BadAddress(a) => TraceFault::BadAddress(a),
+        auros_vm::VmError::StraySigReturn => TraceFault::StraySigReturn,
+        auros_vm::VmError::SignalOverflow => TraceFault::SignalOverflow,
     }
 }
 
@@ -96,9 +108,11 @@ impl World {
             }
             Exit::Fault(err) => {
                 let now = self.now();
-                self.trace.emit(now, TraceCategory::Process, Some(cid.0), || {
-                    format!("{pid} killed: {err}")
-                });
+                self.trace.emit(
+                    now,
+                    Loc::Cluster(cid.0),
+                    TraceKind::Killed { pid: pid.0, fault: trace_fault(err) },
+                );
                 self.finish_process(cid, pid, ProcessState::Killed);
             }
             Exit::PageFault(page) => {
@@ -143,9 +157,11 @@ impl World {
                 self.stats.clusters[ci].work_busy += self.cfg.costs.page_enqueue;
             }
             let now = self.now();
-            self.trace.emit(now, TraceCategory::Paging, Some(cid.0), || {
-                format!("{pid} evicted page {page:?} (dirty={dirty})")
-            });
+            self.trace.emit(
+                now,
+                Loc::Cluster(cid.0),
+                TraceKind::PageEvicted { pid: pid.0, page: page.0 as u64, dirty },
+            );
         }
     }
 
@@ -208,9 +224,7 @@ impl World {
         self.exits.insert(pid, status);
         self.stats.exits += 1;
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Process, Some(cid.0), || {
-            format!("{pid} finished with status {status}")
-        });
+        self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::Finished { pid: pid.0, status });
         // Close every channel end: peers mark the channel dead.
         let ends = self.clusters[ci].routing.ends_of(pid);
         for end in ends {
@@ -371,9 +385,11 @@ impl World {
         let q = entry.queue.pop_front()?;
         entry.reads_since_sync += 1;
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
-            format!("{pid} consumed {:?} on {:?} src {}", q.msg.id, end, q.msg.src)
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::Consumed { pid: pid.0, msg: q.msg.id.0, end: end.into(), src: q.msg.src.0 },
+        );
         if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
             pcb.reads_since_sync += 1;
         }
@@ -556,9 +572,11 @@ impl World {
             None => {
                 // Default disposition: terminate, even while blocked.
                 let now = self.now();
-                self.trace.emit(now, TraceCategory::Signal, Some(cid.0), || {
-                    format!("{owner} killed by uncaught {sig}")
-                });
+                self.trace.emit(
+                    now,
+                    Loc::Cluster(cid.0),
+                    TraceKind::SignalKilled { owner: owner.0, sig: sig.0 },
+                );
                 self.finish_process(cid, owner, ProcessState::Killed);
             }
             Some(_) => {
@@ -612,9 +630,15 @@ impl World {
                     self.perform_sync(cid, pid);
                     self.consume_front(cid, pid, sig_end);
                     let now = self.now();
-                    self.trace.emit(now, TraceCategory::Signal, Some(cid.0), || {
-                        format!("{pid} handling {sig} at pc {handler}")
-                    });
+                    self.trace.emit(
+                        now,
+                        Loc::Cluster(cid.0),
+                        TraceKind::SignalHandling {
+                            pid: pid.0,
+                            sig: sig.0,
+                            handler: handler as u64,
+                        },
+                    );
                     let ok = self.clusters[ci]
                         .procs
                         .get_mut(&pid)
@@ -1319,9 +1343,11 @@ impl World {
         let ci = cid.0 as usize;
         let child = auros_bus::proto::derive_child_pid(pid, fork_index);
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Process, Some(cid.0), || {
-            format!("{pid} forks {child} (index {fork_index})")
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::Forked { pid: pid.0, child: child.0, index: fork_index },
+        );
         // Clone the machine; UNIX-style return values.
         let (mut child_machine, mode, backup_cluster, program) = {
             let pcb = self.clusters[ci].procs.get_mut(&pid).expect("forker exists");
@@ -1437,9 +1463,11 @@ impl World {
     fn recreate_child_from_parent(&mut self, cid: ClusterId, parent: Pid, child: Pid) {
         let ci = cid.0 as usize;
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Crash, Some(cid.0), || {
-            format!("replayed fork recreates {child} from {parent}")
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::ForkReplayed { child: child.0, parent: parent.0 },
+        );
         let (mut machine, mode) = {
             let pcb = self.clusters[ci].procs.get(&parent).expect("replaying parent");
             let m = pcb.machine().expect("user process").clone();

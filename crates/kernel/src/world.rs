@@ -18,7 +18,8 @@ use auros_bus::{
     BusKind, BusSchedule, ClusterId, DeliveryTag, Frame, FrameClass, LinkLedger, Message, MsgId,
     Pid, WireFault,
 };
-use auros_sim::{Dur, EventQueue, TraceCategory, TraceLog, VTime};
+use auros_sim::trace::RetryWhy;
+use auros_sim::{Dur, EventQueue, Loc, MetricsRegistry, TraceKind, TraceLog, VTime};
 
 use crate::cluster::{Cluster, PendingFrame};
 use crate::config::Config;
@@ -487,6 +488,23 @@ impl World {
         self.held_frames.len()
     }
 
+    /// Publishes every subsystem's ledgers into one registry: the world
+    /// stats (global and per-cluster), both bus ledgers, the link layer's
+    /// held-frame count, and whatever each live server publishes.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        self.stats.publish_metrics(reg);
+        self.bus.publish_metrics(reg);
+        reg.set("link.held_frames", self.held_frames.len() as u64);
+        reg.set("link.in_flight", self.in_flight.len() as u64);
+        for c in self.clusters.iter().filter(|c| c.alive) {
+            for pcb in c.procs.values() {
+                if let crate::process::ProcessBody::Server(logic) = &pcb.body {
+                    logic.publish_metrics(reg);
+                }
+            }
+        }
+    }
+
     /// Cluster `cid` was rebuilt from scratch (restore): links into it
     /// have no receiver history; re-align them with the sender side and
     /// re-examine any frames held on the dead incarnation's account.
@@ -527,9 +545,11 @@ impl World {
             entry.suppress_writes -= 1;
             self.stats.clusters[ci].suppressed_sends += 1;
             let now = self.now();
-            self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
-                format!("{src} suppressed duplicate send on {:?}", end)
-            });
+            self.trace.emit(
+                now,
+                Loc::Cluster(cid.0),
+                TraceKind::SendSuppressed { src: src.0, end: end.into() },
+            );
             return SendOutcome::Suppressed;
         }
         if entry.peer_closed {
@@ -653,9 +673,7 @@ impl World {
                 // or later traffic on the same links would stall forever.
                 self.links.skip(cid.0, &link_pairs(&frame));
                 let now = self.now();
-                self.trace.emit(now, TraceCategory::Bus, Some(cid.0), || {
-                    "frame lost: no healthy bus".to_string()
-                });
+                self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::FrameLostNoBus);
             }
         }
     }
@@ -726,9 +744,16 @@ impl World {
             inf.pending_delivery = pending;
         }
         if let Some(f) = fault {
-            self.trace.emit(now, TraceCategory::Bus, None, || {
-                format!("wire fault on {:?}: flight {flight} attempt {attempt} {f:?}", res.bus)
-            });
+            self.trace.emit(
+                now,
+                Loc::World,
+                TraceKind::WireFault {
+                    bus: res.bus.into(),
+                    flight,
+                    attempt: attempt as u64,
+                    fault: f.into(),
+                },
+            );
             self.maybe_quarantine();
         }
     }
@@ -743,13 +768,15 @@ impl World {
         }
         if let Some(survivor) = self.bus.quarantine(active, now) {
             self.stats.quarantines += 1;
-            self.trace.emit(now, TraceCategory::Bus, None, || {
-                format!(
-                    "{active:?} quarantined after {} consecutive wire faults; \
-                     traffic moves to {survivor:?}",
-                    self.cfg.quarantine_after
-                )
-            });
+            self.trace.emit(
+                now,
+                Loc::World,
+                TraceKind::BusQuarantined {
+                    bus: active.into(),
+                    after: self.cfg.quarantine_after as u64,
+                    survivor: survivor.into(),
+                },
+            );
             if !self.probing {
                 self.probing = true;
                 self.queue.schedule(now + self.cfg.costs.probe_interval, Event::BusProbe);
@@ -764,7 +791,7 @@ impl World {
         if inf.attempt != attempt {
             return;
         }
-        self.retransmit(flight, "ack timeout");
+        self.retransmit(flight, RetryWhy::AckTimeout);
     }
 
     /// A receiver NAKed a corrupted copy of this frame: retransmit.
@@ -773,12 +800,12 @@ impl World {
         if inf.attempt != attempt {
             return;
         }
-        self.retransmit(flight, "NAK");
+        self.retransmit(flight, RetryWhy::Nak);
     }
 
     /// Re-reserves a window for a still-outstanding frame, with
     /// exponential backoff; abandons it past the retransmit budget.
-    fn retransmit(&mut self, flight: u64, why: &str) {
+    fn retransmit(&mut self, flight: u64, why: RetryWhy) {
         let now = self.now();
         let Some(inf) = self.in_flight.get(&flight) else { return };
         let (frame, bytes, attempt) = (inf.frame.clone(), inf.bytes, inf.attempt);
@@ -796,18 +823,25 @@ impl World {
                 if let Some(inf) = self.in_flight.get_mut(&flight) {
                     inf.attempt = next;
                 }
-                self.trace.emit(now, TraceCategory::Bus, None, || {
-                    format!("retransmit #{next} of flight {flight} ({why}) on {:?}", res.bus)
-                });
+                self.trace.emit(
+                    now,
+                    Loc::World,
+                    TraceKind::Retransmit {
+                        attempt: next as u64,
+                        flight,
+                        why,
+                        bus: res.bus.into(),
+                    },
+                );
                 self.launch_wire(flight, frame, res, next);
             }
-            None => self.abandon_flight(flight, "no healthy bus"),
+            None => self.abandon_flight(flight, RetryWhy::NoHealthyBus),
         }
     }
 
     /// Gives up on a frame for good: cancel any scheduled delivery and
     /// consume its link slots so later traffic is not stalled behind it.
-    fn abandon_flight(&mut self, flight: u64, why: &str) {
+    fn abandon_flight(&mut self, flight: u64, why: RetryWhy) {
         let now = self.now();
         if let Some(inf) = self.in_flight.remove(&flight) {
             if let Some(at) = inf.at {
@@ -815,13 +849,16 @@ impl World {
             }
             self.stats.frames_abandoned += 1;
             self.links.skip(inf.frame.src_cluster.0, &link_pairs(&inf.frame));
-            self.trace.emit(now, TraceCategory::Bus, None, || {
-                format!(
-                    "flight {flight} abandoned after {} attempts ({why}): {:?} is lost",
-                    inf.attempt + 1,
-                    inf.frame.msg.id
-                )
-            });
+            self.trace.emit(
+                now,
+                Loc::World,
+                TraceKind::FlightAbandoned {
+                    flight,
+                    attempts: inf.attempt as u64 + 1,
+                    why,
+                    msg: inf.frame.msg.id.0,
+                },
+            );
         }
         self.drain_held();
     }
@@ -839,14 +876,10 @@ impl World {
             if self.bus.probe_ok(bus, now) {
                 self.bus.heal(bus);
                 self.stats.heals += 1;
-                self.trace.emit(now, TraceCategory::Bus, None, || {
-                    format!("probe on {bus:?} came back clean; healed to standby")
-                });
+                self.trace.emit(now, Loc::World, TraceKind::ProbeHealed { bus: bus.into() });
             } else {
                 still_benched = true;
-                self.trace.emit(now, TraceCategory::Bus, None, || {
-                    format!("probe on {bus:?} lost; quarantine continues")
-                });
+                self.trace.emit(now, Loc::World, TraceKind::ProbeLost { bus: bus.into() });
             }
         }
         if still_benched {
@@ -898,11 +931,11 @@ impl World {
                     }
                     self.launch_wire(flight, frame, res, attempt + 1);
                 }
-                self.trace.emit(now, TraceCategory::Bus, None, || {
-                    format!(
-                        "active bus failed; {retransmitted} in-flight frames retransmitted on {survivor:?}"
-                    )
-                });
+                self.trace.emit(
+                    now,
+                    Loc::World,
+                    TraceKind::BusFailover { retransmitted, survivor: survivor.into() },
+                );
             }
             None => {
                 // Double bus fault: the machine is partitioned from
@@ -919,9 +952,7 @@ impl World {
                         self.links.skip(inf.frame.src_cluster.0, &link_pairs(&inf.frame));
                     }
                 }
-                self.trace.emit(now, TraceCategory::Bus, None, || {
-                    format!("both buses failed; {lost} in-flight frames lost")
-                });
+                self.trace.emit(now, Loc::World, TraceKind::BothBusesFailed { lost: lost as u64 });
                 self.drain_held();
             }
         }
@@ -933,12 +964,11 @@ impl World {
         if let Some(dev) = self.devices.get_mut(device) {
             dev.fail_half(second);
             self.stats.disk_half_faults += 1;
-            self.trace.emit(now, TraceCategory::Crash, None, || {
-                format!(
-                    "device {device} lost its {} half; continuing on the survivor",
-                    if second { "second" } else { "first" }
-                )
-            });
+            self.trace.emit(
+                now,
+                Loc::World,
+                TraceKind::DiskHalfFailed { device: device as u64, second },
+            );
         }
     }
 
@@ -953,12 +983,11 @@ impl World {
         // holds the pristine copy in its in-flight ledger.
         if !frame.verify() {
             self.stats.corruptions_caught += 1;
-            self.trace.emit(now, TraceCategory::Bus, None, || {
-                format!(
-                    "checksum rejected corrupted {:?}; NAK to {}",
-                    frame.msg.id, frame.src_cluster
-                )
-            });
+            self.trace.emit(
+                now,
+                Loc::World,
+                TraceKind::ChecksumReject { msg: frame.msg.id.0, src: frame.src_cluster.0 },
+            );
             if let Some(inf) = self.in_flight.get(&flight) {
                 let attempt = inf.attempt;
                 self.stats.naks += 1;
@@ -989,16 +1018,16 @@ impl World {
                 FrameClass::Duplicate => {
                     self.in_flight.remove(&flight);
                     self.stats.dup_suppressed += 1;
-                    self.trace.emit(now, TraceCategory::Bus, None, || {
-                        format!("duplicate {:?} suppressed by link layer", frame.msg.id)
-                    });
+                    self.trace.emit(
+                        now,
+                        Loc::World,
+                        TraceKind::LinkDupSuppressed { msg: frame.msg.id.0 },
+                    );
                     return;
                 }
                 FrameClass::Hold => {
                     self.in_flight.remove(&flight);
-                    self.trace.emit(now, TraceCategory::Bus, None, || {
-                        format!("{:?} held behind a link-sequence gap", frame.msg.id)
-                    });
+                    self.trace.emit(now, Loc::World, TraceKind::FrameHeld { msg: frame.msg.id.0 });
                     let key = self.next_hold;
                     self.next_hold += 1;
                     self.held_frames.insert(key, frame);
@@ -1020,14 +1049,15 @@ impl World {
     /// atomic three-way delivery, unchanged from the perfect-wire model.
     fn process_frame(&mut self, frame: &Frame) {
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Bus, None, || {
-            format!(
-                "deliver {:?} from {} to {} targets",
-                frame.msg.id,
-                frame.src_cluster,
-                frame.targets.len()
-            )
-        });
+        self.trace.emit(
+            now,
+            Loc::World,
+            TraceKind::FrameDeliver {
+                msg: frame.msg.id.0,
+                src: frame.src_cluster.0,
+                targets: frame.targets.len() as u64,
+            },
+        );
         for &(cid, tag) in &frame.targets {
             let ci = cid.0 as usize;
             if !self.clusters[ci].alive {
@@ -1077,9 +1107,11 @@ impl World {
                         self.links.advance(frame.src_cluster.0, &link_pairs(&frame));
                         self.stats.frames_reordered += 1;
                         let now = self.now();
-                        self.trace.emit(now, TraceCategory::Bus, None, || {
-                            format!("gap closed; held {:?} delivered in order", frame.msg.id)
-                        });
+                        self.trace.emit(
+                            now,
+                            Loc::World,
+                            TraceKind::GapClosed { msg: frame.msg.id.0 },
+                        );
                         self.process_frame(&frame);
                         acted = true;
                         break;
@@ -1111,9 +1143,11 @@ impl World {
         entry.queue.push_back(Queued { arrival_seq: seq, msg: msg.clone() });
         self.stats.clusters[ci].primary_msgs += 1;
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
-            format!("primary delivery {:?} on {:?} for {owner}", msg.id, end)
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::PrimaryDelivery { msg: msg.id.0, end: end.into(), owner: owner.0 },
+        );
         self.note_signal_arrival(cid, end, owner);
         self.try_unblock(cid, owner);
     }
@@ -1147,9 +1181,11 @@ impl World {
             self.stats.clusters[ci].backup_msgs += 1;
             self.stats.max_backup_queue_depth = self.stats.max_backup_queue_depth.max(depth);
             let now = self.now();
-            self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
-                format!("backup save {:?} on {:?} seq {seq} src {}", msg.id, end, msg.src)
-            });
+            self.trace.emit(
+                now,
+                Loc::Cluster(cid.0),
+                TraceKind::BackupSave { msg: msg.id.0, end: end.into(), seq, src: msg.src.0 },
+            );
             if demand {
                 self.demand_sync(cid, owner);
             }
@@ -1175,9 +1211,11 @@ impl World {
             return;
         }
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Message, Some(cid.0), || {
-            format!("backup queue for {owner} at its bound; demanding sync from {pc}")
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::SyncDemanded { owner: owner.0, primary: pc.0 },
+        );
         self.send_control(
             cid,
             vec![(pc, DeliveryTag::Kernel)],
@@ -1267,6 +1305,7 @@ impl World {
                     _ => continue,
                 }
             }
+            self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::Dispatched { pid: pid.0 });
             let token = {
                 let pcb = self.clusters[ci].procs.get_mut(&pid).expect("checked above");
                 pcb.state = ProcessState::Running;
@@ -1348,9 +1387,7 @@ impl World {
         for d in dead {
             self.announced_crashes.push(d);
             self.stats.crashes += 1;
-            self.trace.emit(now, TraceCategory::Crash, Some(d.0), || {
-                format!("polling detected crash of {d}")
-            });
+            self.trace.emit(now, Loc::Cluster(d.0), TraceKind::CrashDetected { dead: d.0 });
             self.announce_crash(d);
         }
         self.queue.schedule(now + self.cfg.costs.poll_interval, Event::PollTick);
@@ -1434,9 +1471,11 @@ impl World {
         machine.memory_mut().install(page, page_data);
         self.stats.clusters[ci].page_faults += 1;
         let now = self.now();
-        self.trace.emit(now, TraceCategory::Paging, Some(cid.0), || {
-            format!("installed page {:?} for {pid}", page)
-        });
+        self.trace.emit(
+            now,
+            Loc::Cluster(cid.0),
+            TraceKind::PageInstalled { pid: pid.0, page: page.0 as u64 },
+        );
         self.try_unblock(cid, pid);
     }
 }

@@ -39,6 +39,8 @@ pub enum Tok {
     Int,
     /// A floating-point literal such as `1.0` or `2.5e3`.
     Float,
+    /// A string literal (any form; the contents are dropped).
+    Str,
 }
 
 /// A parsed waiver comment.
@@ -118,8 +120,10 @@ impl Lexer {
                 '/' if self.peek(1) == Some('/') => self.line_comment(),
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
                 '"' => {
+                    let line = self.line;
                     self.bump();
                     self.string_body(0);
+                    self.emit(line, Tok::Str);
                 }
                 '\'' => self.char_or_lifetime(),
                 c if c.is_ascii_digit() => self.number(),
@@ -318,12 +322,14 @@ impl Lexer {
                 self.bump();
                 // Raw strings have no escapes; reuse the hash-closing scan.
                 self.raw_string_body(hashes);
+                self.emit(line, Tok::Str);
             }
             return;
         }
         if plain_prefix && self.peek(0) == Some('"') {
             self.bump();
             self.string_body(0);
+            self.emit(line, Tok::Str);
             return;
         }
         self.emit(line, Tok::Ident(name));

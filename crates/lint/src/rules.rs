@@ -25,7 +25,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`D1`..`D5`, `W0`, `W1`).
+    /// Rule id (`D1`..`D6`, `W0`, `W1`).
     pub rule: &'static str,
     /// Human-readable explanation of the hit.
     pub message: String,
@@ -138,6 +138,18 @@ scopes out (§4). Fault paths must either handle the `None`/`Err` case\n\
 or carry a waiver documenting why the value is always present.",
     },
     RuleInfo {
+        id: "D6",
+        title: "no untyped trace emission",
+        explain: "D6 — no string-typed trace emission in sim-deterministic crates.\n\
+\n\
+Flight-recorder events are typed (`TraceKind`): the divergence differ,\n\
+per-category fingerprints, and the crash-path tests all match on enum\n\
+structure, and a free-text event is invisible to every one of them. An\n\
+`.emit(..)` call whose arguments build a string (a string literal,\n\
+`format!`, `String`, `to_string`, or a closure) bypasses the taxonomy;\n\
+add a `TraceKind` variant instead. See DESIGN.md §5.8.",
+    },
+    RuleInfo {
         id: "W0",
         title: "malformed waiver comment",
         explain: "W0 — a comment contains the `auros-lint:` marker but does not parse\n\
@@ -247,6 +259,13 @@ fn collect_hits(
                 if name == "std" {
                     check_std_path(tokens, i, hits);
                 }
+                if name == "emit"
+                    && i > 0
+                    && tokens[i - 1].tok == Tok::Punct('.')
+                    && matches!(tokens.get(i + 1), Some(n) if n.tok == Tok::Punct('('))
+                {
+                    check_emit_args(tokens, i + 1, hits);
+                }
                 if fault_path
                     && matches!(name.as_str(), "unwrap" | "expect")
                     && i > 0
@@ -271,6 +290,53 @@ fn collect_hits(
             }
             _ => {}
         }
+    }
+}
+
+/// Scans the balanced argument list of an `.emit(` call starting at the
+/// opening paren and flags untyped (string-building) emissions per D6:
+/// a string literal anywhere in the arguments, a string-building call
+/// (`format!`, `String`, `to_string`/`to_owned`), or a closure argument
+/// (the pre-typed API's lazy `|| format!(..)` style).
+fn check_emit_args(tokens: &[Token], open: usize, hits: &mut Vec<(u32, &'static str, String)>) {
+    let line = tokens[open].line;
+    let mut depth = 0usize;
+    let mut string_lit = false;
+    let mut builder: Option<String> = None;
+    for t in &tokens[open..] {
+        match &t.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Punct('|') if depth == 1 => {
+                builder.get_or_insert_with(|| "a closure".to_string());
+            }
+            Tok::Str => string_lit = true,
+            Tok::Ident(n) => {
+                if matches!(n.as_str(), "format" | "String" | "to_string" | "to_owned") {
+                    builder.get_or_insert_with(|| format!("`{n}`"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if string_lit {
+        hits.push((
+            line,
+            "D6",
+            "`.emit()` passed a string literal; trace events are typed — add a `TraceKind` variant"
+                .to_string(),
+        ));
+    } else if let Some(what) = builder {
+        hits.push((
+            line,
+            "D6",
+            format!("`.emit()` builds a string via {what}; trace events are typed — add a `TraceKind` variant"),
+        ));
     }
 }
 
@@ -448,6 +514,28 @@ mod tests {
         let src = "fn f(m: &M) { m.get(&k).unwrap(); }\n";
         assert_eq!(rules_of(&det("crash.rs", src)), vec!["D5"]);
         assert!(det("world.rs", src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn d6_flags_string_building_emits() {
+        // Strings lex to nothing, so the literal shows up as an empty slot.
+        assert_eq!(rules_of(&det("world.rs", "t.emit(at, loc, \"boom\");\n")), vec!["D6"]);
+        assert_eq!(
+            rules_of(&det("world.rs", "t.emit(at, loc, format!(\"pid {p}\"));\n")),
+            vec!["D6"]
+        );
+        assert_eq!(rules_of(&det("world.rs", "t.emit(at, loc, || kind());\n")), vec!["D6"]);
+        assert_eq!(rules_of(&det("world.rs", "t.emit(at, loc, s.to_string());\n")), vec!["D6"]);
+    }
+
+    #[test]
+    fn d6_allows_typed_emits() {
+        let src = "t.emit(at, Loc::Cluster(0), TraceKind::Finished { pid, status: 0 });\n";
+        assert!(det("world.rs", src).diagnostics.is_empty());
+        // Non-method `emit` (definitions) and other calls are untouched.
+        assert!(det("world.rs", "pub fn emit(&mut self, k: TraceKind) {}\n")
+            .diagnostics
+            .is_empty());
     }
 
     #[test]

@@ -89,6 +89,13 @@ fn d5_fault_path_unwraps() {
 }
 
 #[test]
+fn d6_untyped_trace_emission() {
+    assert_violates("d6/violation.rs", "D6", 3);
+    assert_clean("d6/clean.rs");
+    assert_waived("d6/waived.rs", "D6", 1);
+}
+
+#[test]
 fn w0_malformed_waivers() {
     let r = lint_fixture("waiver/malformed.rs", CrateClass::Deterministic);
     let w0 = r.diagnostics.iter().filter(|d| d.rule == "W0").count();
@@ -114,6 +121,7 @@ fn host_class_ignores_every_violation_fixture() {
         "d3/violation.rs",
         "d4/violation.rs",
         "d5/violation/crash.rs",
+        "d6/violation.rs",
     ] {
         let r = lint_fixture(rel, CrateClass::Host);
         assert!(r.diagnostics.is_empty(), "{rel} under host class: {:?}", r.diagnostics);

@@ -1,0 +1,8 @@
+//! D6 fixture: typed emissions (and unrelated string formatting).
+
+pub fn run(trace: &mut TraceLog, at: VTime, pid: u64) {
+    trace.emit(at, Loc::World, TraceKind::Finished { pid, status: 0 });
+    trace.emit(at, Loc::Cluster(0), TraceKind::Killed { pid, fault: TraceFault::StraySigReturn });
+    let label = format!("cluster {pid}");
+    let _ = label;
+}

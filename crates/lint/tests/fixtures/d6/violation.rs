@@ -1,0 +1,7 @@
+//! D6 fixture: untyped (string-building) trace emissions.
+
+pub fn run(trace: &mut TraceLog, at: VTime, pid: u64) {
+    trace.emit(at, Loc::World, "process finished");
+    trace.emit(at, Loc::Cluster(0), format!("killed pid {pid}"));
+    trace.emit(at, Loc::World, || format!("lazy message for {pid}"));
+}

@@ -1,0 +1,6 @@
+//! D6 fixture: a free-text emission carrying its waiver.
+
+pub fn run(trace: &mut TraceLog, at: VTime) {
+    // auros-lint: allow(D6) -- prototype probe, removed before merge
+    trace.emit(at, Loc::World, "scratch probe");
+}

@@ -246,6 +246,19 @@ impl ServerLogic for PageServer {
         true
     }
 
+    fn publish_metrics(&self, reg: &mut auros_sim::MetricsRegistry) {
+        reg.set("pager.pageouts", self.pageouts);
+        reg.set("pager.pageins", self.pageins);
+        reg.set("pager.account_syncs", self.account_syncs);
+        reg.set("pager.accounts", self.accounts.len() as u64);
+        let double: usize = self
+            .accounts
+            .values()
+            .map(|a| a.primary.keys().filter(|p| a.backup.contains_key(p)).count())
+            .sum();
+        reg.set("pager.double_copied_pages", double as u64);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

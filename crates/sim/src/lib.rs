@@ -17,11 +17,15 @@
 //! are permitted anywhere above this crate.
 
 pub mod event;
+pub mod metrics;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledAt};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use rng::DetRng;
 pub use time::{Dur, VTime};
-pub use trace::{TraceCategory, TraceEvent, TraceLog};
+pub use trace::{
+    first_divergence, Divergence, Loc, TraceCategory, TraceEnd, TraceEvent, TraceKind, TraceLog,
+};

@@ -227,6 +227,34 @@ proptest! {
         prop_assert_eq!(sys.digest(), again.digest());
     }
 
+    /// Determinism, observed from *inside*: a repeat run's flight-recorder
+    /// stream is event-for-event identical, not merely digest-equal. On
+    /// failure the differ names the first divergent event (vt, cluster,
+    /// kind) instead of two useless fingerprints.
+    #[test]
+    fn prop_repeat_runs_have_identical_event_streams(
+        jobs in proptest::collection::vec(job_strategy(), 1..3),
+        crash_at in 2_000u64..30_000,
+        victim in 0u16..3,
+    ) {
+        let snapshot = || {
+            let mut b = SystemBuilder::new(3);
+            b.default_mode(BackupMode::Quarterback);
+            for (i, j) in jobs.iter().enumerate() {
+                j.spawn(i, &mut b, 3);
+            }
+            b.crash_at(VTime(crash_at), victim);
+            let mut sys = b.build();
+            sys.world.trace = auros::sim::TraceLog::capture_all();
+            assert!(sys.run(DEADLINE), "run must complete");
+            sys.world.trace.snapshot()
+        };
+        let (a, b) = (snapshot(), snapshot());
+        if let Some(div) = auros::sim::first_divergence(&a, &b) {
+            prop_assert!(false, "repeat run diverged: {div}");
+        }
+    }
+
     /// The same, under fullback protection on a larger machine.
     #[test]
     fn prop_fullback_crash_is_transparent(

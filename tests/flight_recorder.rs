@@ -1,0 +1,248 @@
+//! Flight-recorder acceptance: the typed event stream, the divergence
+//! differ, the bounded ring, and crash-window capture.
+//!
+//! The differ turns "two runs disagree" from a pair of opaque
+//! fingerprints into *the first divergent event* — virtual time, cluster,
+//! kind — plus the matching events just before it. These tests pin that
+//! contract, then use it the way a debugging session would: crash a
+//! cluster in the middle of an in-progress sync (and again with frames
+//! held behind a link-sequence gap) and check the faulted run's stream is
+//! event-identical to the fault-free twin's right up to the crash point.
+
+use auros::sim::{first_divergence, TraceCategory, TraceEvent, TraceKind, TraceLog};
+use auros::{programs, SystemBuilder, VTime};
+use proptest::prelude::*;
+
+const DEADLINE: VTime = VTime(400_000_000);
+
+/// Pingpong pair with full capture and an optional crash.
+fn traced_run(crash: Option<(u64, u16)>) -> (auros::System, Vec<TraceEvent>) {
+    let mut b = SystemBuilder::new(3);
+    b.spawn(0, programs::pingpong("fr", 120, true));
+    b.spawn(1, programs::pingpong("fr", 120, false));
+    if let Some((at, victim)) = crash {
+        b.crash_at(VTime(at), victim);
+    }
+    let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
+    assert!(sys.run(DEADLINE), "workload must complete");
+    let events = sys.world.trace.snapshot();
+    (sys, events)
+}
+
+#[test]
+fn identical_runs_produce_identical_streams() {
+    let (_, a) = traced_run(Some((9_000, 0)));
+    let (_, b) = traced_run(Some((9_000, 0)));
+    assert!(
+        first_divergence(&a, &b).is_none(),
+        "same inputs must give the same event stream ({} vs {} events)",
+        a.len(),
+        b.len()
+    );
+}
+
+#[test]
+fn differ_locates_first_divergent_event_with_vt_cluster_and_kind() {
+    // Two crash times: the streams agree until the earlier crash fires.
+    let (_, a) = traced_run(Some((8_000, 0)));
+    let (_, b) = traced_run(Some((16_000, 0)));
+    let div = first_divergence(&a, &b).expect("different crash times must diverge");
+    // The first difference IS the earlier crash: the differ hands back
+    // its virtual time, cluster, and typed kind directly.
+    assert_eq!(div.at(), VTime(8_000), "divergence located at the earlier crash instant");
+    let left = div.left.expect("left stream has the crash event");
+    assert_eq!(left.kind, TraceKind::ClusterCrashed);
+    assert_eq!(left.cluster(), Some(0));
+    assert_eq!(left.category(), TraceCategory::Crash);
+    // Context events precede the divergence and match on both sides.
+    assert!(!div.context.is_empty(), "context accompanies the report");
+    for e in &div.context {
+        assert!(e.at <= div.at());
+    }
+}
+
+/// Finds `(crash_at, victim)` inside an in-progress sync: after some
+/// primary's `SyncStart` but strictly before its record is applied at
+/// the backup.
+fn sync_window(events: &[TraceEvent]) -> Option<(u64, u16)> {
+    for e in events {
+        let TraceKind::SyncStart { pid, gen, .. } = e.kind else { continue };
+        if e.at.ticks() < 3_000 {
+            continue; // skip boot-time syncs; crash handling needs a warm system
+        }
+        let applied = events.iter().find(|f| {
+            matches!(f.kind, TraceKind::SyncApplied { pid: p, gen: g, .. } if p == pid && g == gen)
+                && f.at > e.at
+        })?;
+        if applied.at.ticks() > e.at.ticks() + 1 {
+            let mid = e.at.ticks() + (applied.at.ticks() - e.at.ticks()) / 2;
+            return Some((mid, e.cluster().expect("syncs happen in a cluster")));
+        }
+    }
+    None
+}
+
+#[test]
+fn crash_during_in_progress_sync_matches_clean_up_to_crash_point() {
+    let (mut clean_sys, clean) = traced_run(None);
+    let (crash_at, victim) =
+        sync_window(&clean).expect("the workload must sync with an observable window");
+    let (mut sys, crashed) = traced_run(Some((crash_at, victim)));
+    // Transparent outcome (§3.3): the sync in flight at the crash either
+    // completed at the backup or is re-done after rollforward.
+    assert_eq!(clean_sys.digest(), sys.digest(), "crash mid-sync at {crash_at} on c{victim}");
+    // And the differ proves the streams agree event-for-event up to the
+    // crash: the first divergent event is the crash itself, not anything
+    // before it.
+    let div = first_divergence(&clean, &crashed).expect("a crashed run's stream must diverge");
+    assert!(
+        div.at() >= VTime(crash_at),
+        "streams diverge at vt {} — before the crash at {crash_at}: {div}",
+        div.at()
+    );
+    assert_eq!(
+        div.right.expect("crashed stream continues").kind,
+        TraceKind::ClusterCrashed,
+        "the first divergent event is the injected crash"
+    );
+}
+
+/// Finds a crash instant inside a held-frame window: after a `FrameHeld`
+/// but strictly before that message's gap closes, so the link layer's
+/// hold queue is non-empty when the crash lands.
+fn held_window(events: &[TraceEvent]) -> Option<u64> {
+    for e in events {
+        let TraceKind::FrameHeld { msg } = e.kind else { continue };
+        let closed = events.iter().find(|f| {
+            matches!(f.kind, TraceKind::GapClosed { msg: m } if m == msg) && f.at > e.at
+        })?;
+        if closed.at.ticks() > e.at.ticks() + 1 {
+            return Some(e.at.ticks() + (closed.at.ticks() - e.at.ticks()) / 2);
+        }
+    }
+    None
+}
+
+/// Busy cross-cluster traffic (fullback rendezvous + file writes) with
+/// one dropped frame: its retransmission arrives only after the ack
+/// timeout, and every successor frame landing in that window is held
+/// behind the link-sequence gap. (A mere delay can't do this — the bus
+/// serializes transmissions, so nothing overtakes a slow frame.)
+fn held_frame_run(crash: Option<(u64, u16)>) -> (auros::System, Vec<TraceEvent>) {
+    use auros::BackupMode;
+    let mut b = SystemBuilder::new(3);
+    // Link sequence numbers are per cluster *pair*, so four concurrent
+    // rendezvous flows between c0 and c1 interleave on one link: when a
+    // drop sidelines one flow's frame for the ack-timeout window, the
+    // other flows' frames keep arriving and pile up behind the gap.
+    for i in 0..4 {
+        let name = format!("fh{i}");
+        b.spawn_with_mode(0, programs::pingpong(&name, 120, true), BackupMode::Fullback);
+        b.spawn_with_mode(1, programs::pingpong(&name, 120, false), BackupMode::Fullback);
+    }
+    b.drop_frame_at(VTime(10_000));
+    if let Some((at, victim)) = crash {
+        b.crash_at(VTime(at), victim);
+    }
+    let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
+    assert!(sys.run(DEADLINE), "workload must complete");
+    let events = sys.world.trace.snapshot();
+    (sys, events)
+}
+
+#[test]
+fn crash_with_held_frames_matches_clean_up_to_crash_point() {
+    let (mut clean_sys, clean) = held_frame_run(None);
+    let crash_at = held_window(&clean).expect("the drop must open a held-frame window");
+    assert!(
+        clean
+            .iter()
+            .any(|e| { matches!(e.kind, TraceKind::FrameHeld { .. }) && e.at.ticks() <= crash_at }),
+        "the system enters the crash with a non-empty held-frame queue"
+    );
+    // Crash the initiators' cluster mid-window: its in-flight and held
+    // traffic dies with it, and rollforward must regenerate it all.
+    let (mut sys, crashed) = held_frame_run(Some((crash_at, 0)));
+    assert_eq!(clean_sys.digest(), sys.digest(), "crash at {crash_at} with frames held");
+    let div = first_divergence(&clean, &crashed).expect("a crashed run's stream must diverge");
+    assert!(
+        div.at() >= VTime(crash_at),
+        "streams diverge at vt {} — before the crash at {crash_at}: {div}",
+        div.at()
+    );
+}
+
+// ---- ring-buffer properties (satellite: proptest the flight recorder) --
+
+/// Replays `picks` as an interleaved Sched/Crash event stream into `log`.
+fn feed(log: &mut TraceLog, picks: &[u64]) {
+    for (i, &p) in picks.iter().enumerate() {
+        let at = VTime(10 + i as u64);
+        if p % 2 == 0 {
+            log.emit(
+                at,
+                auros::sim::Loc::Cluster((p % 3) as u16),
+                TraceKind::Dispatched { pid: p },
+            );
+        } else {
+            log.emit(at, auros::sim::Loc::Cluster((p % 3) as u16), TraceKind::ClusterCrashed);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The ring keeps exactly the most recent `cap` events, in emission
+    /// order, and reports everything it dropped.
+    #[test]
+    fn prop_ring_preserves_order_and_capacity(
+        cap in 1usize..40,
+        picks in proptest::collection::vec(0u64..1000, 0..120),
+    ) {
+        let mut ring = TraceLog::ring(cap);
+        let mut full = TraceLog::capture_all();
+        feed(&mut ring, &picks);
+        feed(&mut full, &picks);
+        prop_assert!(ring.len() <= cap, "ring exceeded capacity");
+        prop_assert_eq!(ring.evicted(), picks.len().saturating_sub(cap) as u64);
+        let tail: Vec<TraceEvent> =
+            full.snapshot().into_iter().skip(picks.len().saturating_sub(cap)).collect();
+        prop_assert_eq!(ring.snapshot(), tail, "ring must hold the stream's tail, in order");
+    }
+
+    /// Fingerprints cover every *emitted* event: bounding the ring (any
+    /// capacity, including smaller than the stream) never changes them.
+    #[test]
+    fn prop_fingerprints_invariant_to_eviction(
+        cap in 1usize..20,
+        picks in proptest::collection::vec(0u64..1000, 1..120),
+    ) {
+        let mut ring = TraceLog::ring(cap);
+        let mut full = TraceLog::capture_all();
+        feed(&mut ring, &picks);
+        feed(&mut full, &picks);
+        prop_assert_eq!(ring.fingerprints(), full.fingerprints());
+    }
+
+    /// A category's fingerprint depends only on that category's events:
+    /// filtering the others out (capturing Sched alone) leaves it
+    /// untouched.
+    #[test]
+    fn prop_fingerprints_invariant_to_filtering(
+        picks in proptest::collection::vec(0u64..1000, 1..120),
+    ) {
+        let mut full = TraceLog::capture_all();
+        let mut sched_only = TraceLog::new();
+        sched_only.enable(TraceCategory::Sched);
+        feed(&mut full, &picks);
+        feed(&mut sched_only, &picks);
+        prop_assert_eq!(
+            sched_only.fingerprint(TraceCategory::Sched),
+            full.fingerprint(TraceCategory::Sched)
+        );
+        prop_assert_eq!(sched_only.fingerprint(TraceCategory::Crash), 0);
+    }
+}

@@ -2,11 +2,17 @@
 //! failure must be transparent — every externally visible outcome equals
 //! the fault-free run's.
 
+use auros::sim::{TraceKind, TraceLog};
 use auros::{programs, BackupMode, RunDigest, SystemBuilder, VTime};
 
 const DEADLINE: VTime = VTime(400_000_000);
 
 /// Builds, optionally crashes cluster `victim` at `at`, runs, digests.
+///
+/// Promotion and suppression counts come from the flight recorder's
+/// typed events, cross-checked against the stats ledgers — a promotion
+/// the ledger counts but the recorder never saw (or vice versa) is a
+/// bug in its own right.
 fn pingpong_run(crash: Option<(u64, u16)>, rounds: u64) -> (RunDigest, u64, u64) {
     let mut b = SystemBuilder::new(3);
     b.spawn(0, programs::pingpong("pp", rounds, true));
@@ -15,9 +21,19 @@ fn pingpong_run(crash: Option<(u64, u16)>, rounds: u64) -> (RunDigest, u64, u64)
         b.crash_at(VTime(at), victim);
     }
     let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
     assert!(sys.run(DEADLINE), "workload survives");
-    let promotions = sys.world.stats.clusters.iter().map(|c| c.promotions).sum();
-    let suppressed = sys.world.stats.total_suppressed();
+    let promotions =
+        sys.world.trace.count_where(|k| matches!(*k, TraceKind::PromotingBackup { .. })) as u64;
+    let suppressed =
+        sys.world.trace.count_where(|k| matches!(*k, TraceKind::SendSuppressed { .. })) as u64;
+    let ledger_promotions: u64 = sys.world.stats.clusters.iter().map(|c| c.promotions).sum();
+    assert_eq!(promotions, ledger_promotions, "recorder and ledger disagree on promotions");
+    assert_eq!(
+        suppressed,
+        sys.world.stats.total_suppressed(),
+        "recorder and ledger disagree on suppressed sends"
+    );
     (sys.digest(), promotions, suppressed)
 }
 
@@ -277,9 +293,31 @@ fn crash_handling_pauses_then_resumes_unaffected_work() {
     b.spawn(1, programs::compute_loop(2_000, 4));
     b.crash_at(VTime(10_000), 2);
     let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
     assert!(sys.run(DEADLINE));
     let crash_busy: u64 = sys.world.stats.clusters.iter().map(|c| c.crash_busy.as_ticks()).sum();
     assert!(crash_busy > 0, "survivors ran crash-handling processes");
+    // The typed event stream shows the §7.10.1 shape: detection of the
+    // right victim, handling on the survivors, and dispatches of the
+    // unaffected process *after* handling completed (resumption).
+    let events = sys.world.trace.snapshot();
+    let detected = events
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::CrashDetected { dead: 2 }))
+        .expect("crash of c2 detected");
+    let begun = events
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::CrashHandlingBegin { dead: 2, .. }))
+        .expect("crash handling began");
+    let done = events
+        .iter()
+        .rposition(|e| matches!(e.kind, TraceKind::CrashHandlingDone { dead: 2 }))
+        .expect("crash handling completed");
+    assert!(detected <= begun && begun < done, "detect -> begin -> done, in order");
+    assert!(
+        events[done..].iter().any(|e| matches!(e.kind, TraceKind::Dispatched { .. })),
+        "unaffected work resumed after crash handling"
+    );
 }
 
 #[test]

@@ -3,6 +3,7 @@
 //! server state.
 
 use auros::fs::DiskPair;
+use auros::sim::{TraceKind, TraceLog};
 use auros::{programs, SystemBuilder, VTime};
 
 const DEADLINE: VTime = VTime(400_000_000);
@@ -14,10 +15,22 @@ fn page_accounts_track_sync_generations() {
     b.config_mut().sync_max_fuel = 3_000;
     b.spawn(0, programs::compute_loop(60, 16));
     let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
     assert!(sys.run(DEADLINE));
     let pager = sys.pager_state().expect("pager alive");
     assert!(pager.pageouts > 0, "dirty pages were flushed at syncs");
     assert!(pager.account_syncs > 0, "account commits happened");
+    // Typed cross-check: every sync the ledger counts was recorded as a
+    // SyncStart event, and at least one flushed dirty pages.
+    let starts = sys.world.trace.count_where(|k| matches!(*k, TraceKind::SyncStart { .. })) as u64;
+    assert_eq!(starts, sys.world.stats.total_syncs(), "recorder and ledger disagree on syncs");
+    assert!(
+        sys.world
+            .trace
+            .count_where(|k| matches!(*k, TraceKind::SyncStart { flushed, .. } if flushed > 0))
+            > 0,
+        "some sync flushed dirty pages"
+    );
 }
 
 #[test]
@@ -69,9 +82,24 @@ fn disk_revert_discards_uncommitted_writes_on_promotion() {
     b.spawn(2, programs::file_writer("/r", 20, 128));
     b.crash_at(VTime(12_000), 0);
     let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
     assert!(sys.run(DEADLINE));
     let reverts = sys.with_fs(|_, disk| disk.reverts).expect("fs alive");
     assert_eq!(reverts, 1, "the promoted file server reverted the overlay");
+    // The revert must come from the §7.10.1 path: the recorder saw the
+    // fs cluster's crash detected and the fs backup promoted.
+    let fs_pid = sys.fs_pid.0;
+    assert!(
+        sys.world.trace.count_where(|k| matches!(*k, TraceKind::CrashDetected { dead: 0 })) > 0,
+        "crash of the fs cluster was detected"
+    );
+    assert!(
+        sys.world
+            .trace
+            .count_where(|k| matches!(*k, TraceKind::PromotingBackup { pid, .. } if pid == fs_pid))
+            > 0,
+        "the file server's backup was promoted"
+    );
 }
 
 #[test]
@@ -166,9 +194,16 @@ fn eviction_under_memory_pressure_demand_pages_back() {
     b.config_mut().sync_max_fuel = 4_000;
     let i = b.spawn(0, programs::compute_loop(40, 12));
     let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
     assert!(sys.run(DEADLINE), "workload completes under paging pressure");
     let faults: u64 = sys.world.stats.clusters.iter().map(|c| c.page_faults).sum();
     assert!(faults > 0, "evicted pages were demand-faulted back");
+    // Typed paging events: evictions were recorded, and every fault the
+    // ledger counts reinstalled a page.
+    let evicted = sys.world.trace.count_where(|k| matches!(*k, TraceKind::PageEvicted { .. }));
+    let installed = sys.world.trace.count_where(|k| matches!(*k, TraceKind::PageInstalled { .. }));
+    assert!(evicted > 0, "evictions were recorded");
+    assert_eq!(installed as u64, faults, "recorder and ledger disagree on page faults");
     // The checksum must equal the unconstrained run's: paging is
     // transparent to the computation.
     let mut b2 = SystemBuilder::new(2);
