@@ -191,6 +191,23 @@ impl SystemBuilder {
         self.fault(FaultEvent::ProcessFail { at, spawn: spawn_index })
     }
 
+    /// Arms a poison payload against the `spawn_index`th spawned
+    /// process: the first data message it consumes at or after `at`
+    /// kills it, and keeps killing every reincarnation until the
+    /// supervision layer quarantines the message into the dead-letter
+    /// ledger — or exhausts the restart budget and abandons the process.
+    pub fn poison_at(&mut self, at: VTime, spawn_index: usize) -> &mut Self {
+        self.fault(FaultEvent::PoisonMessage { at, spawn: spawn_index })
+    }
+
+    /// Schedules a correlated zone outage at `at`: both clusters of
+    /// dual-ported pair `zone` ([`crate::topology::zone_members`]) die
+    /// at the same instant. This exceeds the paper's single-failure
+    /// model on purpose.
+    pub fn zone_outage_at(&mut self, at: VTime, zone: u16) -> &mut Self {
+        self.fault(FaultEvent::ZoneOutage { at, zone })
+    }
+
     /// Assembles the system, panicking on an invalid fault plan.
     ///
     /// # Panics
@@ -408,6 +425,17 @@ impl SystemBuilder {
                 }
                 FaultEvent::ProcessFail { at, spawn } => {
                     world.queue.schedule(at, Event::PartialFailure { pid: pids[spawn] });
+                }
+                FaultEvent::PoisonMessage { at, spawn } => {
+                    // Armed at build time: the supervisor's trigger fires
+                    // inside consume_front, not off the event queue, so a
+                    // fault-free run schedules nothing extra.
+                    world.arm_poison(at, pids[spawn]);
+                }
+                FaultEvent::ZoneOutage { at, zone } => {
+                    for member in crate::topology::zone_members(zone) {
+                        world.queue.schedule(at, Event::Crash { cluster: ClusterId(member) });
+                    }
                 }
                 // Transient wire faults arm the bus schedule directly:
                 // they strike transmissions, not the event queue.

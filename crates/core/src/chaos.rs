@@ -45,11 +45,16 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// How many fault plans to sample.
     pub plans: usize,
+    /// Efficiency ceiling: a survivable plan that completes may burn at
+    /// most this multiple of the fault-free twin's busy work. Catches
+    /// supervision pathologies (restart thrash, replay storms) that the
+    /// digest comparison alone cannot see.
+    pub max_work_factor: u64,
 }
 
 impl Default for ChaosConfig {
     fn default() -> ChaosConfig {
-        ChaosConfig { seed: 0xA42_0001, plans: 100 }
+        ChaosConfig { seed: 0xA42_0001, plans: 100, max_work_factor: 3 }
     }
 }
 
@@ -83,16 +88,40 @@ pub enum PlanKind {
     /// wire fault. Quarantine must bench it, the standby must carry the
     /// traffic, and the run must stay externally indistinguishable.
     FlakyBusWindow,
+    /// A correlated cascade: a cluster crashes, and with elevated
+    /// probability the cluster that inherited its primaries crashes too,
+    /// inside the recovery window — before re-protection completes.
+    /// Cascaded instances are outside the model; the sampler records the
+    /// per-instance expectation.
+    CascadeFailover,
+    /// A poison payload deterministically re-kills its consumer after
+    /// each restart. The supervision layer must quarantine the message
+    /// into the dead-letter ledger (or exhaust the restart budget and
+    /// give up loudly) — never loop forever.
+    CrashLoop,
+    /// Both clusters of a dual-ported zone die at the same instant:
+    /// correlated loss the single-failure model does not cover, so the
+    /// run must be reported unsurvivable.
+    ZoneOutage,
+    /// A flaky-bus window aligned to the synchronization cadence, with
+    /// one-shot transients inside it: wire faults land exactly when sync
+    /// demand peaks. The reliability layer must still make every one
+    /// invisible.
+    SyncStorm,
 }
 
 impl PlanKind {
     /// Whether the paper's fault model promises survival of this shape.
+    ///
+    /// For [`PlanKind::CascadeFailover`] this is the *uncascaded*
+    /// default; the sampler overrides it per instance when the second,
+    /// correlated crash is drawn.
     pub fn expect_survivable(self) -> bool {
-        !matches!(self, PlanKind::DoubleBusFail | PlanKind::RapidDoubleCrash)
+        !matches!(self, PlanKind::DoubleBusFail | PlanKind::RapidDoubleCrash | PlanKind::ZoneOutage)
     }
 
     /// All shapes the sampler draws from.
-    pub const ALL: [PlanKind; 10] = [
+    pub const ALL: [PlanKind; 14] = [
         PlanKind::SingleCrash,
         PlanKind::SingleBusFail,
         PlanKind::SingleDiskHalf,
@@ -103,6 +132,10 @@ impl PlanKind {
         PlanKind::RapidDoubleCrash,
         PlanKind::TransientMix,
         PlanKind::FlakyBusWindow,
+        PlanKind::CascadeFailover,
+        PlanKind::CrashLoop,
+        PlanKind::ZoneOutage,
+        PlanKind::SyncStorm,
     ];
 }
 
@@ -124,6 +157,15 @@ pub struct PlanOutcome {
     pub survived: bool,
     /// Worst crash-to-last-promotion latency of the run, in ticks.
     pub recovery_latency: Option<u64>,
+    /// Poison payloads the plan injected.
+    pub injected_poisons: u64,
+    /// Poisons the supervision layer quarantined into the dead-letter
+    /// ledger.
+    pub quarantined_poisons: u64,
+    /// Supervised restarts the run granted.
+    pub supervised_restarts: u64,
+    /// Processes abandoned after exhausting their restart budget.
+    pub give_ups: u64,
     /// First oracle violation, if any.
     pub violation: Option<String>,
 }
@@ -158,6 +200,13 @@ impl ChaosReport {
         self.outcomes.iter().filter(|o| o.kind == kind).count()
     }
 
+    /// Shapes the sweep never sampled. A coverage gate: a sweep sized
+    /// for the full distribution should return an empty list, and a
+    /// non-empty one means a shape silently escaped testing.
+    pub fn unsampled(&self) -> Vec<PlanKind> {
+        PlanKind::ALL.into_iter().filter(|k| self.count_of(*k) == 0).collect()
+    }
+
     /// Worst crash-to-last-promotion latency across the sweep, in ticks.
     pub fn max_recovery_latency(&self) -> Option<u64> {
         self.outcomes.iter().filter_map(|o| o.recovery_latency).max()
@@ -182,6 +231,17 @@ impl ChaosReport {
         if let Some(l) = self.max_recovery_latency() {
             let _ = writeln!(out, "  worst recovery latency: {l} ticks");
         }
+        let injected: u64 = self.outcomes.iter().map(|o| o.injected_poisons).sum();
+        if injected > 0 {
+            let quarantined: u64 = self.outcomes.iter().map(|o| o.quarantined_poisons).sum();
+            let restarts: u64 = self.outcomes.iter().map(|o| o.supervised_restarts).sum();
+            let give_ups: u64 = self.outcomes.iter().map(|o| o.give_ups).sum();
+            let _ = writeln!(
+                out,
+                "  supervision: {injected} poisons injected, {quarantined} quarantined, \
+                 {restarts} restarts granted, {give_ups} give-ups"
+            );
+        }
         for f in &self.failures {
             let _ = writeln!(out, "  FAILURE: {f}");
         }
@@ -201,9 +261,17 @@ fn workload(b: &mut SystemBuilder) {
     b.spawn_with_mode(3, programs::compute_loop(600, 4), BackupMode::Fullback);
 }
 
-/// Samples one fault plan from `rng`.
-fn sample_plan(rng: &mut DetRng) -> (PlanKind, Vec<FaultEvent>) {
+/// Synchronization cadence of the sweep machine: the default kernel
+/// config forces a sync whenever a primary burns `sync_max_fuel =
+/// 50_000` ticks, so sync demand peaks near multiples of it.
+const SYNC_CADENCE: u64 = 50_000;
+
+/// Samples one fault plan from `rng`, returning the shape, the concrete
+/// events, and whether *this instance* is expected survivable (the
+/// correlated shapes decide that per draw).
+fn sample_plan(rng: &mut DetRng) -> (PlanKind, Vec<FaultEvent>, bool) {
     let kind = PlanKind::ALL[rng.below(PlanKind::ALL.len() as u64) as usize];
+    let mut expect_survivable = kind.expect_survivable();
     let events = match kind {
         PlanKind::SingleCrash => {
             let cluster = rng.below(CLUSTERS as u64) as u16;
@@ -288,8 +356,61 @@ fn sample_plan(rng: &mut DetRng) -> (PlanKind, Vec<FaultEvent>) {
             let until = from + rng.range(3_000, 9_000);
             vec![FaultEvent::BusFlaky { from: VTime(from), until: VTime(until), bus: BusKind::A }]
         }
+        PlanKind::CascadeFailover => {
+            let a = rng.below(CLUSTERS as u64) as u16;
+            // The default backup placement puts a's backups — and hence
+            // its promoted primaries — in the next cluster around the
+            // ring.
+            let inheritor = (a + 1) % CLUSTERS;
+            let t1 = rng.range(3_000, 15_000);
+            let mut events = vec![FaultEvent::ClusterCrash { at: VTime(t1), cluster: a }];
+            // Elevated correlation: three of four draws cascade into the
+            // inheritor inside its recovery window, before re-protection
+            // can complete — those instances exceed the fault model.
+            if rng.below(4) < 3 {
+                let t2 = t1 + rng.range(2_000, 12_000);
+                events.push(FaultEvent::ClusterCrash { at: VTime(t2), cluster: inheritor });
+                expect_survivable = false;
+            }
+            events
+        }
+        PlanKind::CrashLoop => {
+            // Poison one of the rendezvous pair: those are the spawns
+            // that consume data payloads (the file writer only ever
+            // reads file-server replies, so a poison aimed at it would
+            // never trigger). The pair drains its data traffic within
+            // the first few thousand ticks, so the trigger arms early
+            // enough to be guaranteed a strike.
+            let spawn = rng.below(2) as usize;
+            vec![FaultEvent::PoisonMessage { at: VTime(rng.range(2_000, 4_500)), spawn }]
+        }
+        PlanKind::ZoneOutage => {
+            let zone = rng.below((CLUSTERS / 2) as u64) as u16;
+            vec![FaultEvent::ZoneOutage { at: VTime(rng.range(3_000, 40_000)), zone }]
+        }
+        PlanKind::SyncStorm => {
+            // Align the flaky window to a sync wave, then land a few
+            // one-shot transients inside it.
+            let centre = (1 + rng.below(2)) * SYNC_CADENCE;
+            let from = centre - rng.range(2_000, 6_000);
+            let until = centre + rng.range(2_000, 6_000);
+            let mut events = vec![FaultEvent::BusFlaky {
+                from: VTime(from),
+                until: VTime(until),
+                bus: BusKind::A,
+            }];
+            for _ in 0..(2 + rng.below(2)) {
+                let at = VTime(rng.range(from + 1, until));
+                events.push(match rng.below(3) {
+                    0 => FaultEvent::FrameDrop { at },
+                    1 => FaultEvent::FrameCorrupt { at },
+                    _ => FaultEvent::FrameDuplicate { at },
+                });
+            }
+            events
+        }
     };
-    (kind, events)
+    (kind, events, expect_survivable)
 }
 
 fn build(plan: &[FaultEvent]) -> System {
@@ -311,14 +432,14 @@ pub fn run_sweep(cfg: &ChaosConfig) -> ChaosReport {
     assert!(clean_sys.run(DEADLINE), "the fault-free workload must complete");
     let clean: RunDigest = clean_sys.digest();
     let clean_trace = clean_sys.world.trace.snapshot();
+    let clean_work = clean_sys.world.stats.total_work_busy().as_ticks();
 
     let mut rng = DetRng::seed(cfg.seed);
     let mut outcomes = Vec::with_capacity(cfg.plans);
     let mut failures = Vec::new();
     for index in 0..cfg.plans {
         let mut plan_rng = rng.split(index as u64);
-        let (kind, events) = sample_plan(&mut plan_rng);
-        let expect_survivable = kind.expect_survivable();
+        let (kind, events, expect_survivable) = sample_plan(&mut plan_rng);
         let mut sys = build(&events);
         let completed = sys.run(DEADLINE);
         let digest = completed.then(|| sys.digest());
@@ -372,6 +493,41 @@ pub fn run_sweep(cfg: &ChaosConfig) -> ChaosReport {
                 violation.clone().unwrap_or_default()
             ));
         }
+        let injected_poisons = sys.world.stats.injected_poisons;
+        let quarantined_poisons = sys.world.stats.quarantined_poisons;
+        let supervised_restarts = sys.world.stats.supervised_restarts;
+        let give_ups = sys.world.stats.give_ups;
+        // The crash-loop invariant: no poison may loop forever. Every
+        // CrashLoop plan must terminate either in quarantine-then-
+        // progress (the run completes, every injected poison sits in the
+        // dead-letter ledger) or in a budgeted give-up (the run is
+        // reported incomplete and at least one process was loudly
+        // abandoned).
+        if kind == PlanKind::CrashLoop {
+            let quarantine_then_progress =
+                completed && survived && quarantined_poisons == injected_poisons;
+            let budgeted_give_up = !completed && give_ups >= 1;
+            if !(quarantine_then_progress || budgeted_give_up) {
+                failures.push(format!(
+                    "plan {index} (CrashLoop) {events:?}: neither quarantine-then-progress nor \
+                     budgeted give-up ({quarantined_poisons}/{injected_poisons} quarantined, \
+                     {give_ups} give-ups, completed={completed})"
+                ));
+            }
+        }
+        // The efficiency invariant: surviving a fault must not cost
+        // unbounded rework. Restart thrash or replay storms show up here
+        // even when the final digest is byte-identical.
+        if expect_survivable && completed {
+            let work = sys.world.stats.total_work_busy().as_ticks();
+            if work > cfg.max_work_factor.saturating_mul(clean_work) {
+                failures.push(format!(
+                    "plan {index} ({kind:?}) {events:?}: burned {work} busy ticks against a \
+                     fault-free {clean_work} (ceiling {}x)",
+                    cfg.max_work_factor
+                ));
+            }
+        }
         let recovery_latency = sys.world.stats.max_recovery_latency().map(|d| d.as_ticks());
         outcomes.push(PlanOutcome {
             index,
@@ -381,8 +537,66 @@ pub fn run_sweep(cfg: &ChaosConfig) -> ChaosReport {
             completed,
             survived,
             recovery_latency,
+            injected_poisons,
+            quarantined_poisons,
+            supervised_restarts,
+            give_ups,
             violation,
         });
     }
     ChaosReport { seed: cfg.seed, outcomes, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive by construction: adding a `PlanKind` variant without
+    /// deciding its place here fails to compile, and the test below
+    /// fails if `ALL` drops or duplicates a variant.
+    fn ordinal(kind: PlanKind) -> usize {
+        match kind {
+            PlanKind::SingleCrash => 0,
+            PlanKind::SingleBusFail => 1,
+            PlanKind::SingleDiskHalf => 2,
+            PlanKind::CrashThenCrash => 3,
+            PlanKind::CrashRestoreCrash => 4,
+            PlanKind::BusFailPlusCrash => 5,
+            PlanKind::DoubleBusFail => 6,
+            PlanKind::RapidDoubleCrash => 7,
+            PlanKind::TransientMix => 8,
+            PlanKind::FlakyBusWindow => 9,
+            PlanKind::CascadeFailover => 10,
+            PlanKind::CrashLoop => 11,
+            PlanKind::ZoneOutage => 12,
+            PlanKind::SyncStorm => 13,
+        }
+    }
+
+    #[test]
+    fn all_lists_every_plan_kind_exactly_once() {
+        let mut seen = [0usize; PlanKind::ALL.len()];
+        for kind in PlanKind::ALL {
+            seen[ordinal(kind)] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "PlanKind::ALL must list every variant exactly once, got {seen:?}"
+        );
+    }
+
+    #[test]
+    fn sampled_plans_are_always_well_formed() {
+        // Every draw the sweep can make must pass plan validation; a
+        // panic inside `build` would otherwise abort a sweep mid-flight.
+        let mut rng = DetRng::seed(0xC0FFEE);
+        for index in 0..200 {
+            let mut plan_rng = rng.split(index);
+            let (kind, events, _) = sample_plan(&mut plan_rng);
+            let mut b = SystemBuilder::new(CLUSTERS);
+            workload(&mut b);
+            b.fault_plan(events.iter().copied());
+            assert!(b.try_build().is_ok(), "plan {index} ({kind:?}) {events:?} failed validation");
+        }
+    }
 }

@@ -96,6 +96,26 @@ pub enum FaultEvent {
         /// Which bus of the dual pair misbehaves.
         bus: BusKind,
     },
+    /// A poison payload: the first data message the victim consumes at
+    /// or after `at` kills it, and keeps killing every reincarnation
+    /// until the supervision layer quarantines the message into the
+    /// dead-letter ledger (or gives up the restart budget).
+    PoisonMessage {
+        /// Armed from this instant; strikes on the victim's next read.
+        at: VTime,
+        /// Index of the victim among the builder's spawns.
+        spawn: usize,
+    },
+    /// A correlated zone outage: both clusters of a topology zone (a
+    /// dual-ported partner pair, [`crate::topology::zone_members`]) die
+    /// at the same instant — the paper's single-failure model does not
+    /// cover this, so the run must be *reported* unsurvivable.
+    ZoneOutage {
+        /// When both members die.
+        at: VTime,
+        /// Which zone (pair `{2z, 2z+1}`).
+        zone: u16,
+    },
 }
 
 impl FaultEvent {
@@ -110,7 +130,9 @@ impl FaultEvent {
             | FaultEvent::FrameDrop { at }
             | FaultEvent::FrameCorrupt { at }
             | FaultEvent::FrameDuplicate { at }
-            | FaultEvent::FrameDelay { at, .. } => *at,
+            | FaultEvent::FrameDelay { at, .. }
+            | FaultEvent::PoisonMessage { at, .. }
+            | FaultEvent::ZoneOutage { at, .. } => *at,
             FaultEvent::BusFlaky { from, .. } => *from,
         }
     }
@@ -173,6 +195,20 @@ pub enum FaultPlanError {
         /// When the doomed transient was scheduled.
         at: VTime,
     },
+    /// A zone outage names a zone the machine does not have (a zone is a
+    /// complete dual-ported partner pair `{2z, 2z+1}`).
+    ZoneOutOfRange {
+        /// The offending zone index.
+        zone: u16,
+        /// How many complete zones the machine has.
+        zones: u16,
+    },
+    /// Two poison payloads aimed at the same spawn: the second would
+    /// silently overwrite the first's trigger.
+    DuplicatePoison {
+        /// The spawn index poisoned twice.
+        spawn: usize,
+    },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -202,6 +238,12 @@ impl fmt::Display for FaultPlanError {
             FaultPlanError::TransientOnDeadBus { at } => {
                 write!(f, "transient wire fault at {at}: the targeted bus has permanently failed")
             }
+            FaultPlanError::ZoneOutOfRange { zone, zones } => {
+                write!(f, "outage names zone {zone} but the machine has {zones} complete zones")
+            }
+            FaultPlanError::DuplicatePoison { spawn } => {
+                write!(f, "spawn {spawn} is poisoned twice; the triggers would collide")
+            }
         }
     }
 }
@@ -226,6 +268,7 @@ pub(crate) fn validate(
     // Permanent bus failures strike the *active* bus: the first BusFail
     // kills A (traffic fails over to B), the second kills B.
     let mut buses_dead: u32 = 0;
+    let mut poisoned = vec![false; spawns];
     for ev in ordered {
         if ev.at() == VTime(0) {
             return Err(FaultPlanError::AtTimeZero);
@@ -257,6 +300,27 @@ pub(crate) fn validate(
             FaultEvent::ProcessFail { spawn, .. } => {
                 if spawn >= spawns {
                     return Err(FaultPlanError::SpawnOutOfRange { spawn, spawns });
+                }
+            }
+            FaultEvent::PoisonMessage { spawn, .. } => {
+                if spawn >= spawns {
+                    return Err(FaultPlanError::SpawnOutOfRange { spawn, spawns });
+                }
+                if poisoned[spawn] {
+                    return Err(FaultPlanError::DuplicatePoison { spawn });
+                }
+                poisoned[spawn] = true;
+            }
+            FaultEvent::ZoneOutage { at, zone } => {
+                let zones = clusters / 2;
+                if zone >= zones {
+                    return Err(FaultPlanError::ZoneOutOfRange { zone, zones });
+                }
+                for member in crate::topology::zone_members(zone) {
+                    if down[member as usize] {
+                        return Err(FaultPlanError::DuplicateCrash { cluster: member, at });
+                    }
+                    down[member as usize] = true;
                 }
             }
             FaultEvent::BusFail { .. } => buses_dead += 1,
@@ -367,6 +431,68 @@ mod tests {
     }
 
     #[test]
+    fn poison_spawn_index_is_range_checked_and_deduplicated() {
+        let plan = [FaultEvent::PoisonMessage { at: VTime(10), spawn: 2 }];
+        assert_eq!(
+            validate(&plan, 3, 1, 2),
+            Err(FaultPlanError::SpawnOutOfRange { spawn: 2, spawns: 2 })
+        );
+        assert_eq!(validate(&plan, 3, 1, 3), Ok(()));
+        let plan = [
+            FaultEvent::PoisonMessage { at: VTime(10), spawn: 1 },
+            FaultEvent::PoisonMessage { at: VTime(40), spawn: 1 },
+        ];
+        assert_eq!(validate(&plan, 3, 1, 3), Err(FaultPlanError::DuplicatePoison { spawn: 1 }));
+        // Distinct victims are fine.
+        let plan = [
+            FaultEvent::PoisonMessage { at: VTime(10), spawn: 0 },
+            FaultEvent::PoisonMessage { at: VTime(40), spawn: 1 },
+        ];
+        assert_eq!(validate(&plan, 3, 1, 3), Ok(()));
+    }
+
+    #[test]
+    fn zone_outage_is_range_checked_against_complete_zones() {
+        // A 5-cluster machine has two complete zones; zone 2 would need
+        // cluster 5.
+        let plan = [FaultEvent::ZoneOutage { at: VTime(10), zone: 2 }];
+        assert_eq!(
+            validate(&plan, 5, 1, 0),
+            Err(FaultPlanError::ZoneOutOfRange { zone: 2, zones: 2 })
+        );
+        assert_eq!(validate(&plan, 6, 1, 0), Ok(()));
+    }
+
+    #[test]
+    fn zone_outage_counts_as_a_crash_of_both_members() {
+        // A prior crash of either member makes the outage a duplicate.
+        let plan = [
+            FaultEvent::ClusterCrash { at: VTime(10), cluster: 3 },
+            FaultEvent::ZoneOutage { at: VTime(20), zone: 1 },
+        ];
+        assert_eq!(
+            validate(&plan, 4, 1, 0),
+            Err(FaultPlanError::DuplicateCrash { cluster: 3, at: VTime(20) })
+        );
+        // And a later crash of a member already downed by the outage is
+        // equally a duplicate.
+        let plan = [
+            FaultEvent::ZoneOutage { at: VTime(10), zone: 1 },
+            FaultEvent::ClusterCrash { at: VTime(20), cluster: 2 },
+        ];
+        assert_eq!(
+            validate(&plan, 4, 1, 0),
+            Err(FaultPlanError::DuplicateCrash { cluster: 2, at: VTime(20) })
+        );
+        // Restoring a member after the outage is legal.
+        let plan = [
+            FaultEvent::ZoneOutage { at: VTime(10), zone: 1 },
+            FaultEvent::Restore { at: VTime(50), cluster: 2 },
+        ];
+        assert_eq!(validate(&plan, 4, 1, 0), Ok(()));
+    }
+
+    #[test]
     fn errors_render_their_context() {
         let e = FaultPlanError::DuplicateCrash { cluster: 2, at: VTime(20) };
         assert!(e.to_string().contains("cluster 2"));
@@ -376,6 +502,10 @@ mod tests {
         assert!(e.to_string().contains("empty"));
         let e = FaultPlanError::TransientOnDeadBus { at: VTime(99) };
         assert!(e.to_string().contains("permanently failed"));
+        let e = FaultPlanError::ZoneOutOfRange { zone: 4, zones: 2 };
+        assert!(e.to_string().contains("zone 4") && e.to_string().contains('2'));
+        let e = FaultPlanError::DuplicatePoison { spawn: 1 };
+        assert!(e.to_string().contains("poisoned twice"));
     }
 
     #[test]

@@ -106,6 +106,15 @@ impl SurvivalReport {
 ///    was caught by the receiver checksum (`corruptions_caught ==
 ///    wire_corruptions`): a mismatch means corrupted bytes were
 ///    consumed as if sound.
+/// 8. **Every armed poison struck** — a poison trigger that never fired
+///    means the campaign missed its victim and exercised nothing.
+/// 9. **Poisons are conserved** — absent a budgeted give-up, every
+///    injected poison must have ended in the dead-letter ledger; a
+///    shortfall means a crash loop is still open (or a poison was
+///    silently forgotten).
+/// 10. **No crash loop left running** — a message still sticky at rest,
+///     with no give-up to account for it, would re-kill the next
+///     incarnation forever.
 pub fn check_survival(sys: &System) -> SurvivalReport {
     let mut violations = Vec::new();
     let live: Vec<u16> = sys.world.clusters.iter().filter(|c| c.alive).map(|c| c.id.0).collect();
@@ -195,6 +204,26 @@ pub fn check_survival(sys: &System) -> SurvivalReport {
         violations.push(format!(
             "checksum caught {} of {} injected corruptions — the rest were consumed",
             stats.corruptions_caught, stats.wire_corruptions
+        ));
+    }
+    // 8: every armed poison struck its victim.
+    let armed = sys.world.armed_poison_count();
+    if armed != 0 {
+        violations.push(format!("{armed} armed poison(s) never struck their victim"));
+    }
+    // 9: poisons are conserved — quarantined or absorbed by a give-up.
+    if stats.give_ups == 0 && stats.quarantined_poisons != stats.injected_poisons {
+        violations.push(format!(
+            "{} of {} injected poisons reached the dead-letter ledger and no give-up \
+             accounts for the rest",
+            stats.quarantined_poisons, stats.injected_poisons
+        ));
+    }
+    // 10: no crash loop is still open at rest.
+    let sticky = sys.world.sticky_poison_count();
+    if sticky > 0 && stats.give_ups == 0 {
+        violations.push(format!(
+            "{sticky} poison(s) still sticky at rest — the next incarnation would die again"
         ));
     }
 

@@ -117,6 +117,21 @@ pub fn render(sys: &System) -> String {
             s.forced_syncs, s.max_backup_queue_depth
         );
     }
+    // The supervision section appears only when the supervisor acted, so
+    // fault-free reports stay byte-identical.
+    if s.injected_poisons > 0 || s.supervised_restarts > 0 || s.give_ups > 0 {
+        let _ = writeln!(
+            out,
+            "  supervision: {} restart(s) granted ({} backoff ticks), {} poison kill(s), \
+             {} of {} poison(s) quarantined, {} give-up(s)",
+            s.supervised_restarts,
+            s.backoff_ticks,
+            s.poison_kills,
+            s.quarantined_poisons,
+            s.injected_poisons,
+            s.give_ups
+        );
+    }
     out
 }
 

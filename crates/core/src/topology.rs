@@ -42,6 +42,24 @@ pub fn render(sys: &System) -> String {
     out
 }
 
+/// The clusters that form availability zone `zone`.
+///
+/// A zone is a dual-ported cluster pair sharing interface modules
+/// (§7.9): clusters `2z` and `2z + 1`. A zone outage takes both down at
+/// the same instant, so nothing inside the pair can absorb the failure —
+/// recovery must come from clusters outside the zone.
+pub fn zone_members(zone: u16) -> [u16; 2] {
+    [2 * zone, 2 * zone + 1]
+}
+
+/// How many complete zones a machine of `clusters` clusters has.
+///
+/// An odd trailing cluster belongs to no complete zone and cannot be
+/// named by a zone outage.
+pub fn zone_count(clusters: u16) -> u16 {
+    clusters / 2
+}
+
 /// Structural facts about the topology, for assertions (Figure 1's
 /// checkable content).
 #[derive(Debug, PartialEq, Eq)]
@@ -90,6 +108,17 @@ mod tests {
         for i in 0..4 {
             assert!(art.contains(&format!("cluster {i}")), "{art}");
         }
+    }
+
+    #[test]
+    fn zones_partition_the_dual_ported_pairs() {
+        assert_eq!(zone_members(0), [0, 1]);
+        assert_eq!(zone_members(1), [2, 3]);
+        assert_eq!(zone_members(2), [4, 5]);
+        assert_eq!(zone_count(4), 2);
+        assert_eq!(zone_count(5), 2);
+        assert_eq!(zone_count(6), 3);
+        assert_eq!(zone_count(2), 1);
     }
 
     #[test]

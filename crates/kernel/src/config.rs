@@ -182,6 +182,20 @@ pub struct Config {
     /// message-count sync trigger (§5.2) driven from the memory-pressure
     /// side. `None` (the default) disables the bound.
     pub backup_queue_limit: Option<usize>,
+    /// Supervision: how many process reincarnations (partial-failure
+    /// promotions, §7.10.3) are granted within one `restart_window`
+    /// before the supervisor gives up on the process.
+    pub restart_budget: u32,
+    /// Supervision: the sliding virtual-time window the restart budget
+    /// is counted over.
+    pub restart_window: Dur,
+    /// Supervision: base backoff between reincarnations; restart *k*
+    /// (k ≥ 2) of a window waits `restart_backoff << min(k - 2, 6)`
+    /// before the backup is promoted.
+    pub restart_backoff: Dur,
+    /// Supervision: consecutive deaths on the same message before the
+    /// message is quarantined into the dead-letter ledger as poison.
+    pub poison_after: u32,
 }
 
 impl Default for Config {
@@ -202,6 +216,10 @@ impl Default for Config {
             max_retransmits: 8,
             quarantine_after: 3,
             backup_queue_limit: None,
+            restart_budget: 8,
+            restart_window: Dur(400_000),
+            restart_backoff: Dur(500),
+            poison_after: 3,
         }
     }
 }
@@ -240,6 +258,18 @@ impl Config {
         if matches!(self.backup_queue_limit, Some(n) if n < 2) {
             return Err("a backup queue bound below 2 would demand a sync per message".into());
         }
+        if self.restart_budget == 0 {
+            return Err("a restart budget of zero would forbid partial-failure recovery".into());
+        }
+        if self.restart_window == Dur::ZERO {
+            return Err("restart_window must be positive".into());
+        }
+        if self.restart_backoff == Dur::ZERO {
+            return Err("restart_backoff must be positive".into());
+        }
+        if self.poison_after == 0 {
+            return Err("poison_after must be positive".into());
+        }
         Ok(())
     }
 }
@@ -264,6 +294,10 @@ mod tests {
         assert!(Config { quarantine_after: 0, ..Config::default() }.validate().is_err());
         assert!(Config { backup_queue_limit: Some(1), ..Config::default() }.validate().is_err());
         assert!(Config { backup_queue_limit: Some(2), ..Config::default() }.validate().is_ok());
+        assert!(Config { restart_budget: 0, ..Config::default() }.validate().is_err());
+        assert!(Config { restart_window: Dur::ZERO, ..Config::default() }.validate().is_err());
+        assert!(Config { restart_backoff: Dur::ZERO, ..Config::default() }.validate().is_err());
+        assert!(Config { poison_after: 0, ..Config::default() }.validate().is_err());
     }
 
     #[test]

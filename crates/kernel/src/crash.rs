@@ -407,7 +407,11 @@ impl World {
             }
         }
         if self.clusters[ci].backups.contains_key(&pid) {
-            self.promote_backup(cid, pid, at);
+            // Partial-failure promotions pass through the supervision
+            // gate: budget, backoff, give-up. Cluster-crash promotions
+            // (`on_crash_work_done`) do not — §7.10.1's recovery latency
+            // is the paper's availability argument and stays untouched.
+            self.supervised_promote(cid, pid, at);
         }
         self.try_dispatch(cid);
     }

@@ -29,6 +29,7 @@ pub mod routing;
 pub mod server;
 pub mod spawn;
 pub mod stats;
+pub mod supervise;
 pub mod sync;
 pub mod syscall;
 pub mod world;

@@ -124,6 +124,20 @@ pub struct WorldStats {
     pub probes: u64,
     /// Synchronizations forced by backup-queue backpressure.
     pub forced_syncs: u64,
+    /// Poison triggers armed by the fault plan.
+    pub injected_poisons: u64,
+    /// Deaths caused by consuming a poisoned message.
+    pub poison_kills: u64,
+    /// Poisoned messages moved into the dead-letter ledger.
+    pub quarantined_poisons: u64,
+    /// Process reincarnations granted by the supervisor (partial-failure
+    /// promotions; cluster-crash promotions are accounted separately).
+    pub supervised_restarts: u64,
+    /// Total virtual ticks spent waiting out supervision backoff.
+    pub backoff_ticks: u64,
+    /// Processes the supervisor stopped reincarnating after their
+    /// restart budget ran dry.
+    pub give_ups: u64,
     /// Deepest backup message queue observed anywhere.
     pub max_backup_queue_depth: u64,
     /// One entry per cluster crash, in injection order.
@@ -216,6 +230,12 @@ impl WorldStats {
             ("kernel.heals", self.heals),
             ("kernel.probes", self.probes),
             ("kernel.forced_syncs", self.forced_syncs),
+            ("kernel.injected_poisons", self.injected_poisons),
+            ("kernel.poison_kills", self.poison_kills),
+            ("kernel.quarantined_poisons", self.quarantined_poisons),
+            ("kernel.supervised_restarts", self.supervised_restarts),
+            ("kernel.backoff_ticks", self.backoff_ticks),
+            ("kernel.give_ups", self.give_ups),
             ("kernel.max_backup_queue_depth", self.max_backup_queue_depth),
             ("kernel.now_ticks", self.now.ticks()),
         ] {

@@ -393,6 +393,14 @@ impl World {
         if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
             pcb.reads_since_sync += 1;
         }
+        // The supervision layer's poison model: a poisoned message kills
+        // its (user-process) consumer at the moment of the read, before
+        // any sync can cover it — so every reincarnation re-reads the
+        // same message and dies again until quarantine.
+        if self.poison_strikes(cid, pid, &q) {
+            self.poison_kill(cid, pid, q.msg.id);
+            return None;
+        }
         Some(q)
     }
 

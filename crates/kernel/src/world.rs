@@ -170,6 +170,17 @@ pub enum Event {
     /// Quarantine: probe every benched bus; heal the ones whose probe
     /// frame survives.
     BusProbe,
+    /// Supervision: a restart backoff elapsed; promote the stored backup
+    /// if it is still there. Scheduled only in reaction to a death, so
+    /// fault-free runs see none of these.
+    SupervisedPromote {
+        /// The cluster holding the backup.
+        cluster: ClusterId,
+        /// The process being reincarnated.
+        pid: Pid,
+        /// The cluster reported as the failure site.
+        dead: ClusterId,
+    },
 }
 
 /// Flight key of frames exempt from the in-flight ledger (the
@@ -293,6 +304,8 @@ pub struct World {
     pub(crate) server_timers: BTreeMap<(Pid, u64), ClusterId>,
     /// Buffered server-handler effects awaiting `ServerDone`.
     pub(crate) pending_server_effects: BTreeMap<Pid, crate::syscall::ServerEffects>,
+    /// Supervision bookkeeping: restart budgets, poison ledgers.
+    pub(crate) supervision: crate::supervise::Supervisor,
 }
 
 impl World {
@@ -328,6 +341,7 @@ impl World {
             next_spawn: 0,
             server_timers: BTreeMap::new(),
             pending_server_effects: BTreeMap::new(),
+            supervision: crate::supervise::Supervisor::default(),
             cfg,
         };
         w.queue.schedule(VTime::ZERO + w.cfg.costs.poll_interval, Event::PollTick);
@@ -478,6 +492,9 @@ impl World {
             Event::RetryTimeout { flight, attempt } => self.on_retry_timeout(flight, attempt),
             Event::Nak { flight, attempt } => self.on_nak(flight, attempt),
             Event::BusProbe => self.on_bus_probe(),
+            Event::SupervisedPromote { cluster, pid, dead } => {
+                self.on_supervised_promote_due(cluster, pid, dead)
+            }
         }
     }
 
@@ -496,6 +513,7 @@ impl World {
         self.bus.publish_metrics(reg);
         reg.set("link.held_frames", self.held_frames.len() as u64);
         reg.set("link.in_flight", self.in_flight.len() as u64);
+        reg.set("kernel.dead_letters", self.dead_letter_count() as u64);
         for c in self.clusters.iter().filter(|c| c.alive) {
             for pcb in c.procs.values() {
                 if let crate::process::ProcessBody::Server(logic) = &pcb.body {

@@ -128,8 +128,8 @@ waived with a reason.",
         id: "D5",
         title: "no unwrap/expect on fault-handling paths",
         explain: "D5 — no `.unwrap()`/`.expect()` on fault-handling paths (crash.rs,\n\
-sync.rs, routing.rs, server.rs, process.rs, checkpoint.rs) without an\n\
-inline waiver stating the invariant.\n\
+sync.rs, routing.rs, server.rs, process.rs, checkpoint.rs,\n\
+supervise.rs) without an inline waiver stating the invariant.\n\
 \n\
 Crash handling and backup promotion (§7.10.1–§7.10.2) run precisely\n\
 when the system is already degraded; a panic there turns a survivable\n\
@@ -172,8 +172,15 @@ pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
 }
 
 /// File basenames that constitute the fault-handling path for rule D5.
-pub const FAULT_PATH_FILES: &[&str] =
-    &["crash.rs", "sync.rs", "routing.rs", "server.rs", "process.rs", "checkpoint.rs"];
+pub const FAULT_PATH_FILES: &[&str] = &[
+    "crash.rs",
+    "sync.rs",
+    "routing.rs",
+    "server.rs",
+    "process.rs",
+    "checkpoint.rs",
+    "supervise.rs",
+];
 
 /// Identifiers banned outright per rule, in deterministic crates.
 const D1_IDENTS: &[&str] = &["HashMap", "HashSet"];
@@ -513,6 +520,10 @@ mod tests {
     fn d5_only_on_fault_path_files() {
         let src = "fn f(m: &M) { m.get(&k).unwrap(); }\n";
         assert_eq!(rules_of(&det("crash.rs", src)), vec!["D5"]);
+        // The supervision layer runs exactly when the system is already
+        // degraded: it is a fault path like crash.rs.
+        assert_eq!(rules_of(&det("supervise.rs", src)), vec!["D5"]);
+        assert_eq!(rules_of(&det("kernel/src/supervise.rs", src)), vec!["D5"]);
         assert!(det("world.rs", src).diagnostics.is_empty());
     }
 

@@ -588,6 +588,40 @@ pub enum TraceKind {
         /// The handler's program counter.
         handler: u64,
     },
+    // -------------------------------------------- Crash (supervision) ----
+    /// The supervisor granted a process reincarnation.
+    SupervisionRestart {
+        /// The process being reincarnated.
+        pid: u64,
+        /// Restart ordinal within the sliding window (1 = first).
+        restart: u64,
+        /// Backoff ticks before the promotion (0 = immediate).
+        delay: u64,
+    },
+    /// A poisoned message killed its consumer.
+    SupervisionPoisonKill {
+        /// The process killed mid-consume.
+        pid: u64,
+        /// The poisoned message.
+        msg: u64,
+    },
+    /// A message was quarantined into the dead-letter ledger after
+    /// repeatedly killing its consumer.
+    SupervisionQuarantine {
+        /// The repeatedly killed process.
+        pid: u64,
+        /// The quarantined message.
+        msg: u64,
+        /// Consecutive deaths the message caused before quarantine.
+        deaths: u64,
+    },
+    /// The restart budget ran dry; the supervisor stopped reincarnating.
+    SupervisionGiveUp {
+        /// The process abandoned.
+        pid: u64,
+        /// Restarts spent inside the window before giving up.
+        restarts: u64,
+    },
 }
 
 impl TraceKind {
@@ -633,7 +667,11 @@ impl TraceKind {
             | PartialFailure { .. }
             | ForkReplayed { .. }
             | ClusterRestored
-            | DiskHalfFailed { .. } => TraceCategory::Crash,
+            | DiskHalfFailed { .. }
+            | SupervisionRestart { .. }
+            | SupervisionPoisonKill { .. }
+            | SupervisionQuarantine { .. }
+            | SupervisionGiveUp { .. } => TraceCategory::Crash,
             SignalKilled { .. } | SignalHandling { .. } => TraceCategory::Signal,
         }
     }
@@ -700,6 +738,10 @@ impl TraceKind {
             DiskHalfFailed { device, second } => (42, [device, second as u64, 0, 0]),
             SignalKilled { owner, sig } => (43, [owner, sig as u64, 0, 0]),
             SignalHandling { pid, sig, handler } => (44, [pid, sig as u64, handler, 0]),
+            SupervisionRestart { pid, restart, delay } => (45, [pid, restart, delay, 0]),
+            SupervisionPoisonKill { pid, msg } => (46, [pid, msg, 0, 0]),
+            SupervisionQuarantine { pid, msg, deaths } => (47, [pid, msg, deaths, 0]),
+            SupervisionGiveUp { pid, restarts } => (48, [pid, restarts, 0, 0]),
         };
         h = fold(h, words.0);
         for w in words.1 {
@@ -833,6 +875,20 @@ impl fmt::Display for TraceKind {
                 write!(f, "p{pid} handling ")?;
                 sig_name(f, sig)?;
                 write!(f, " at pc {handler}")
+            }
+            SupervisionRestart { pid, restart, delay } => {
+                write!(f, "supervisor grants p{pid} restart #{restart} (backoff {delay} ticks)")
+            }
+            SupervisionPoisonKill { pid, msg } => {
+                write!(f, "poisoned MsgId({msg}) kills consumer p{pid}")
+            }
+            SupervisionQuarantine { pid, msg, deaths } => write!(
+                f,
+                "MsgId({msg}) quarantined to the dead-letter ledger after \
+                 {deaths} deaths of p{pid}"
+            ),
+            SupervisionGiveUp { pid, restarts } => {
+                write!(f, "restart budget exhausted after {restarts} restarts; p{pid} abandoned")
             }
         }
     }

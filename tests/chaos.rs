@@ -19,14 +19,30 @@ use auros::{programs, SystemBuilder, VTime};
 
 #[test]
 fn chaos_sweep_of_120_seeded_plans_upholds_the_oracle() {
-    let report = run_sweep(&ChaosConfig { seed: 0xA42_0001, plans: 120 });
+    let report = run_sweep(&ChaosConfig { seed: 0xA42_0001, plans: 120, ..ChaosConfig::default() });
     assert!(report.failures.is_empty(), "oracle failures:\n{}", report.summary());
-    // The sampler must actually exercise every fault shape.
+    // The sampler must actually exercise every fault shape: the
+    // coverage gate fails loudly on a never-sampled kind.
     for kind in PlanKind::ALL {
         assert!(report.count_of(kind) > 0, "kind {kind:?} never sampled:\n{}", report.summary());
     }
-    // Survivable plans dominate the distribution (8 of 10 shapes).
+    assert!(report.unsampled().is_empty(), "unsampled kinds: {:?}", report.unsampled());
+    // Survivable plans dominate the distribution (10 of 14 shapes
+    // survivable by construction, plus uncascaded CascadeFailover draws).
     assert!(report.survived() >= report.outcomes.len() / 2, "{}", report.summary());
+    // Every crash-loop plan ended with its poison in the dead-letter
+    // ledger (no give-up is reachable under the default budgets).
+    for o in report.outcomes.iter().filter(|o| o.kind == PlanKind::CrashLoop) {
+        assert!(o.injected_poisons > 0, "plan {} injected nothing", o.index);
+        assert_eq!(
+            o.quarantined_poisons,
+            o.injected_poisons,
+            "plan {} left a poison unquarantined:\n{}",
+            o.index,
+            report.summary()
+        );
+        assert!(o.supervised_restarts > 0, "plan {} never restarted its victim", o.index);
+    }
     // Crash-bearing plans must have recorded a recovery latency.
     let crash_latencies = report
         .outcomes
@@ -42,16 +58,40 @@ fn chaos_sweep_of_120_seeded_plans_upholds_the_oracle() {
 /// per-push gate; the full 120-plan sweep stays in the main suite.
 #[test]
 fn chaos_smoke() {
-    let report = run_sweep(&ChaosConfig { seed: 0xA42_0002, plans: 24 });
+    let report = run_sweep(&ChaosConfig { seed: 0xA42_0002, plans: 24, ..ChaosConfig::default() });
     assert!(report.failures.is_empty(), "oracle failures:\n{}", report.summary());
     let transients =
         report.count_of(PlanKind::TransientMix) + report.count_of(PlanKind::FlakyBusWindow);
     assert!(transients > 0, "smoke seed sampled no transient plans:\n{}", report.summary());
 }
 
+/// The CI campaign smoke: a seeded slice of the correlated-campaign
+/// sweep whose draws include at least one CrashLoop and one ZoneOutage
+/// plan, holding the supervision invariants (poison quarantine,
+/// budgeted give-up, reported zone loss) to the oracle.
+#[test]
+fn campaign_smoke() {
+    let report = run_sweep(&ChaosConfig { seed: 0xA42_0003, plans: 24, ..ChaosConfig::default() });
+    assert!(report.failures.is_empty(), "oracle failures:\n{}", report.summary());
+    assert!(
+        report.count_of(PlanKind::CrashLoop) > 0,
+        "campaign seed sampled no CrashLoop plan:\n{}",
+        report.summary()
+    );
+    assert!(
+        report.count_of(PlanKind::ZoneOutage) > 0,
+        "campaign seed sampled no ZoneOutage plan:\n{}",
+        report.summary()
+    );
+    // Zone outages exceed the fault model and must be *reported*.
+    for o in report.outcomes.iter().filter(|o| o.kind == PlanKind::ZoneOutage) {
+        assert!(!o.expect_survivable, "plan {} expected survivable", o.index);
+    }
+}
+
 #[test]
 fn chaos_sweep_is_reproducible_from_its_seed() {
-    let cfg = ChaosConfig { seed: 77, plans: 6 };
+    let cfg = ChaosConfig { seed: 77, plans: 6, ..ChaosConfig::default() };
     let a = run_sweep(&cfg);
     let b = run_sweep(&cfg);
     let shape = |r: &auros::chaos::ChaosReport| -> Vec<_> {
@@ -154,6 +194,47 @@ fn transient_aimed_past_both_bus_failures_is_a_clean_builder_error() {
     let mut b = plain_builder();
     b.bus_fail_at(VTime(5_000)).bus_fail_at(VTime(9_000)).drop_frame_at(VTime(7_000));
     assert!(b.try_build().is_ok());
+}
+
+#[test]
+fn tiny_sweep_reports_its_unsampled_kinds() {
+    // Two draws cannot cover fourteen shapes: the coverage gate must
+    // name the shapes that escaped, not return an empty list.
+    let report = run_sweep(&ChaosConfig { seed: 1, plans: 2, ..ChaosConfig::default() });
+    assert!(!report.unsampled().is_empty(), "two plans cannot cover {:?}", PlanKind::ALL);
+}
+
+#[test]
+fn poison_of_missing_spawn_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.poison_at(VTime(5_000), 1);
+    assert_eq!(b.try_build().err(), Some(FaultPlanError::SpawnOutOfRange { spawn: 1, spawns: 1 }));
+}
+
+#[test]
+fn double_poison_of_one_spawn_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.poison_at(VTime(5_000), 0).poison_at(VTime(9_000), 0);
+    assert_eq!(b.try_build().err(), Some(FaultPlanError::DuplicatePoison { spawn: 0 }));
+}
+
+#[test]
+fn zone_outage_of_missing_zone_is_a_clean_builder_error() {
+    // Three clusters form one complete zone ({0, 1}); zone 1 would need
+    // cluster 3.
+    let mut b = plain_builder();
+    b.zone_outage_at(VTime(5_000), 1);
+    assert_eq!(b.try_build().err(), Some(FaultPlanError::ZoneOutOfRange { zone: 1, zones: 1 }));
+}
+
+#[test]
+fn zone_outage_overlapping_a_crash_is_a_clean_builder_error() {
+    let mut b = plain_builder();
+    b.crash_at(VTime(4_000), 1).zone_outage_at(VTime(8_000), 0);
+    assert_eq!(
+        b.try_build().err(),
+        Some(FaultPlanError::DuplicateCrash { cluster: 1, at: VTime(8_000) })
+    );
 }
 
 #[test]

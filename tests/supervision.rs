@@ -1,0 +1,105 @@
+//! The supervision layer end to end: a poison payload crash-loops its
+//! consumer until quarantine, restart budgets give up loudly when
+//! exhausted, and a correlated zone outage leaves workloads outside the
+//! zone untouched.
+//!
+//! Everything here is digest-checked against a fault-free twin: after
+//! quarantine-then-progress the run must be externally
+//! indistinguishable, which is the supervision layer's version of the
+//! paper's §3.3 transparency promise.
+
+use auros::sim::{TraceKind, TraceLog};
+use auros::{programs, BackupMode, SystemBuilder, VTime};
+
+const DEADLINE: VTime = VTime(5_000_000);
+
+/// A rendezvous pair, optionally with a poison armed against the
+/// responder (spawn 1).
+fn poisoned_pair(poison_at: Option<VTime>) -> auros::System {
+    let mut b = SystemBuilder::new(3);
+    b.spawn_with_mode(0, programs::pingpong("sup", 40, true), BackupMode::Fullback);
+    b.spawn_with_mode(1, programs::pingpong("sup", 40, false), BackupMode::Fullback);
+    if let Some(at) = poison_at {
+        b.poison_at(at, 1);
+    }
+    let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
+    sys
+}
+
+#[test]
+fn crash_loop_ends_in_quarantine_then_progress() {
+    let mut twin = poisoned_pair(None);
+    assert!(twin.run(DEADLINE));
+    let mut sys = poisoned_pair(Some(VTime(5_000)));
+    assert!(sys.run(DEADLINE), "the quarantined run must complete");
+    assert_eq!(sys.digest(), twin.digest(), "quarantine-then-progress is transparent");
+
+    let s = &sys.world.stats;
+    assert_eq!(s.injected_poisons, 1);
+    assert_eq!(s.poison_kills, 3, "the default poison_after grants three deaths");
+    assert_eq!(s.quarantined_poisons, 1);
+    assert_eq!(s.supervised_restarts, 3, "every death was followed by a supervised restart");
+    assert_eq!(s.give_ups, 0);
+    assert!(s.backoff_ticks > 0, "the second and later restarts wait out a backoff");
+    assert_eq!(sys.world.armed_poison_count(), 0, "the trigger fired");
+    assert_eq!(sys.world.sticky_poison_count(), 0, "no crash loop left open");
+    assert_eq!(sys.world.dead_letter_count(), 1, "the poison sits in the ledger");
+
+    let trace = sys.world.trace.snapshot();
+    assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::SupervisionPoisonKill { .. })));
+    assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::SupervisionRestart { .. })));
+    assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::SupervisionQuarantine { .. })));
+
+    let survival = auros::oracle::check_survival(&sys);
+    assert!(survival.ok(), "survivors unsound: {:?}", survival.violations);
+}
+
+#[test]
+fn exhausted_restart_budget_gives_up_loudly() {
+    // A budget smaller than the poison's death quota: the supervisor
+    // runs out of restarts before quarantine can trigger and must
+    // abandon the victim rather than loop forever.
+    let mut b = SystemBuilder::new(3);
+    b.config_mut().restart_budget = 2;
+    b.config_mut().poison_after = 10;
+    b.spawn_with_mode(0, programs::pingpong("sup", 40, true), BackupMode::Fullback);
+    b.spawn_with_mode(1, programs::pingpong("sup", 40, false), BackupMode::Fullback);
+    b.poison_at(VTime(5_000), 1);
+    let mut sys = b.build();
+    sys.world.trace = TraceLog::capture_all();
+
+    assert!(!sys.run(VTime(600_000)), "an abandoned process cannot complete its rendezvous");
+    let s = &sys.world.stats;
+    assert_eq!(s.give_ups, 1, "exactly one victim was abandoned");
+    assert_eq!(s.supervised_restarts, 2, "the whole budget was spent first");
+    assert_eq!(s.quarantined_poisons, 0, "quarantine never triggered");
+    assert_eq!(sys.world.sticky_poison_count(), 1, "the poison outlives the give-up");
+    let trace = sys.world.trace.snapshot();
+    assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::SupervisionGiveUp { .. })));
+}
+
+#[test]
+fn workload_outside_a_dead_zone_recovers() {
+    // Six clusters: servers live on the edge zones (pager/fs in {0, 1},
+    // the process server in {4, 5}); zone 1 = {2, 3} hosts nothing the
+    // workload needs, so its correlated loss must be absorbed.
+    let build = |outage: bool| {
+        let mut b = SystemBuilder::new(6);
+        b.spawn_with_mode(0, programs::pingpong("zone", 30, true), BackupMode::Fullback);
+        b.spawn_with_mode(4, programs::pingpong("zone", 30, false), BackupMode::Fullback);
+        if outage {
+            b.zone_outage_at(VTime(10_000), 1);
+        }
+        let mut sys = b.build();
+        assert!(sys.run(DEADLINE), "workload outside the zone completes");
+        sys
+    };
+    let mut twin = build(false);
+    let mut sys = build(true);
+    assert_eq!(sys.digest(), twin.digest(), "the outage is invisible outside its zone");
+    assert!(!sys.world.clusters[2].alive, "zone member 2 is down");
+    assert!(!sys.world.clusters[3].alive, "zone member 3 is down");
+    let survival = auros::oracle::check_survival(&sys);
+    assert!(survival.ok(), "survivors unsound: {:?}", survival.violations);
+}
