@@ -1,0 +1,247 @@
+//! Fleet-scale benchmark: cost per event as the cluster count grows.
+//!
+//! PR 7 made the simulator's hot paths independent of fleet size (timing
+//! wheel instead of a global heap, indexed bus fault structures, ready
+//! sets instead of fleet scans, segmented bus fabric). This harness
+//! proves it: the same per-cluster workload — one rendezvous pingpong
+//! pair per cluster, neighbours chained around the ring — is swept over
+//! 64, 256, 1024, and 4096 clusters, and events per wall-clock second
+//! must not collapse as the fleet grows (the committed acceptance bar is
+//! ≥ 0.5× the 64-cluster figure at 4096 clusters).
+//!
+//! Each configuration runs in its own subprocess (re-exec with
+//! `--worker N`) so peak RSS (`VmHWM` from `/proc/self/status`) is
+//! attributable to that configuration alone.
+//!
+//! ```sh
+//! cargo run --release -p auros-bench --bin bench_scale            # full sweep, writes BENCH_SCALE.json
+//! cargo run --release -p auros-bench --bin bench_scale -- --clusters 64 --quick   # CI smoke
+//! ```
+
+use std::time::Instant;
+
+use auros::{programs, System, SystemBuilder, VTime};
+
+const DEADLINE: VTime = VTime(40_000_000_000);
+const SWEEP: &[u16] = &[64, 256, 1024, 4096];
+const SEGMENT_SIZE: u16 = 32;
+
+/// One pingpong pair per cluster, chained around the ring so segment
+/// boundaries carry real traffic. The per-cluster workload is constant:
+/// a flat events/sec curve means flat cost per event.
+fn build(clusters: u16, rounds: u64) -> System {
+    let mut b = SystemBuilder::new(clusters);
+    b.config_mut().bus_segment_size = SEGMENT_SIZE;
+    // One process server absorbs a constant aggregate report rate
+    // (§7.6's cadence is per-machine policy on a ≤32-cluster machine).
+    // Scale the per-cluster interval with the fleet so arrivals per tick
+    // stay constant — at the paper default, 4096 clusters would queue
+    // reports faster than any single server could drain them, at any
+    // per-event speed.
+    let scale = u64::from(clusters / 32).max(1);
+    let base = b.config_mut().costs.report_interval;
+    b.config_mut().costs.report_interval = base.saturating_mul(scale);
+    // The read-count sync trigger (§7.8, "tunable per system") is
+    // likewise per-machine policy: the rendezvous server's image grows
+    // with the fleet, so a fixed per-read cadence makes bootstrap ship
+    // O(fleet) images O(fleet) times. Scaling the trigger keeps the
+    // aggregate sync bytes per open constant across the sweep.
+    b.config_mut().sync_max_reads *= scale;
+    for c in 0..clusters {
+        let name = format!("s{c}");
+        b.spawn(c, programs::pingpong(&name, rounds, true));
+        b.spawn((c + 1) % clusters, programs::pingpong(&name, rounds, false));
+    }
+    b.build()
+}
+
+/// Peak resident set of this process, from `/proc/self/status` (kB).
+/// `None` off Linux — the JSON then records `null`.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct Outcome {
+    clusters: u16,
+    events: u64,
+    deliveries: u64,
+    makespan_ticks: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    peak_rss_kb: Option<u64>,
+}
+
+/// Runs one configuration in-process and prints its outcome as a single
+/// JSON line (the orchestrator parses it back out of the subprocess).
+fn run_worker(clusters: u16, quick: bool) {
+    let (rounds, reps) = if quick { (4, 1) } else { (6, 3) };
+    let mut best = f64::MAX;
+    let mut events = 0u64;
+    let mut deliveries = 0u64;
+    let mut makespan = 0u64;
+    for _ in 0..reps {
+        let mut sys = build(clusters, rounds);
+        let t0 = Instant::now();
+        assert!(sys.run(DEADLINE), "scale workload must complete at {clusters} clusters");
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(dt);
+        events = sys.world.events_processed;
+        deliveries = sys.world.stats.clusters.iter().map(|c| c.deliveries).sum();
+        makespan = sys.now().ticks();
+    }
+    let rate = events as f64 / (best / 1e3);
+    let rss = peak_rss_kb().map_or("null".to_string(), |k| k.to_string());
+    println!(
+        concat!(
+            r#"{{"clusters": {}, "events": {}, "deliveries": {}, "makespan_ticks": {}, "#,
+            r#""wall_ms": {:.2}, "events_per_sec": {:.0}, "peak_rss_kb": {}}}"#
+        ),
+        clusters, events, deliveries, makespan, best, rate, rss
+    );
+}
+
+/// Pulls a field out of a worker's one-line JSON report. The format is
+/// fixed by `run_worker`, so a plain string scan is enough — no parser
+/// dependency.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\": ");
+    let start =
+        line.find(&pat).unwrap_or_else(|| panic!("worker line missing {key}: {line}")) + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).expect("unterminated field");
+    &rest[..end]
+}
+
+fn measure(clusters: u16, quick: bool) -> Outcome {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--worker").arg(clusters.to_string());
+    if quick {
+        cmd.arg("--quick");
+    }
+    let out = cmd.output().expect("spawn worker");
+    assert!(
+        out.status.success(),
+        "worker for {clusters} clusters failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("worker output is utf-8");
+    let line = stdout.lines().last().expect("worker printed a report");
+    Outcome {
+        clusters,
+        events: field(line, "events").parse().expect("events"),
+        deliveries: field(line, "deliveries").parse().expect("deliveries"),
+        makespan_ticks: field(line, "makespan_ticks").parse().expect("makespan"),
+        wall_ms: field(line, "wall_ms").parse().expect("wall_ms"),
+        events_per_sec: field(line, "events_per_sec").parse().expect("events_per_sec"),
+        peak_rss_kb: field(line, "peak_rss_kb").parse().ok(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(i) = args.iter().position(|a| a == "--worker") {
+        let clusters = args[i + 1].parse().expect("--worker takes a cluster count");
+        run_worker(clusters, quick);
+        return;
+    }
+    let only: Option<u16> = args
+        .iter()
+        .position(|a| a == "--clusters")
+        .map(|i| args[i + 1].parse().expect("--clusters takes a cluster count"));
+
+    let sweep: Vec<u16> = SWEEP.iter().copied().filter(|c| only.is_none_or(|o| o == *c)).collect();
+    assert!(!sweep.is_empty(), "--clusters must name one of {SWEEP:?}");
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "clusters", "events", "deliveries", "wall_ms", "events/sec", "rss_kb"
+    );
+    let outcomes: Vec<Outcome> = sweep.iter().map(|&c| measure(c, quick)).collect();
+    for o in &outcomes {
+        println!(
+            "{:<10} {:>12} {:>12} {:>12.2} {:>14.0} {:>12}",
+            o.clusters,
+            o.events,
+            o.deliveries,
+            o.wall_ms,
+            o.events_per_sec,
+            o.peak_rss_kb.map_or("n/a".to_string(), |k| k.to_string()),
+        );
+    }
+
+    // The tentpole's acceptance bar: cost per event must not grow with
+    // the fleet. Checked whenever both ends of the sweep ran.
+    let base = outcomes.iter().find(|o| o.clusters == SWEEP[0]);
+    let top = outcomes.iter().find(|o| o.clusters == *SWEEP.last().expect("sweep is fixed"));
+    let check = match (base, top) {
+        (Some(b), Some(t)) => {
+            let ratio = t.events_per_sec / b.events_per_sec;
+            let pass = ratio >= 0.5;
+            println!(
+                "\nscale check: {} clusters at {:.2}x the events/sec of {} ({})",
+                t.clusters,
+                ratio,
+                b.clusters,
+                if pass { "PASS" } else { "FAIL" }
+            );
+            assert!(pass, "per-event cost grew superlinearly with fleet size");
+            Some(format!(
+                concat!(
+                    "{{\"base_clusters\": {}, \"top_clusters\": {}, ",
+                    "\"events_per_sec_ratio\": {:.2}, \"bar\": 0.5, \"pass\": true}}"
+                ),
+                b.clusters, t.clusters, ratio
+            ))
+        }
+        _ => None,
+    };
+
+    // The committed JSON is the full sweep; partial or quick runs only
+    // print (CI's smoke step must not dirty the tree).
+    if only.is_some() || quick {
+        return;
+    }
+    let entries: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                concat!(
+                    "    {{\"clusters\": {}, \"events\": {}, \"deliveries\": {}, ",
+                    "\"makespan_ticks\": {}, \"wall_ms\": {:.2}, ",
+                    "\"events_per_sec\": {:.0}, \"peak_rss_kb\": {}}}"
+                ),
+                o.clusters,
+                o.events,
+                o.deliveries,
+                o.makespan_ticks,
+                o.wall_ms,
+                o.events_per_sec,
+                o.peak_rss_kb.map_or("null".to_string(), |k| k.to_string()),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"auros-bench-scale/v1\",\n",
+            "  \"command\": \"cargo run --release -p auros-bench --bin bench_scale\",\n",
+            "  \"note\": \"one pingpong pair per cluster around the ring; wall-clock and RSS are ",
+            "machine-dependent (best of 3, own subprocess per config); virtual columns are ",
+            "deterministic\",\n",
+            "  \"segment_size\": {seg},\n",
+            "  \"sweep\": [\n{entries}\n  ],\n",
+            "  \"scale_check\": {check}\n",
+            "}}\n"
+        ),
+        seg = SEGMENT_SIZE,
+        entries = entries.join(",\n"),
+        check = check.expect("full sweep always has both ends"),
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SCALE.json");
+    std::fs::write(root, &json).expect("write BENCH_SCALE.json");
+    println!("wrote {root}");
+}

@@ -22,6 +22,7 @@
 //! server family, and the process server.
 
 pub mod bytes;
+pub mod fabric;
 pub mod frame;
 pub mod ids;
 pub mod link;
@@ -29,6 +30,7 @@ pub mod proto;
 pub mod schedule;
 
 pub use bytes::{payload_allocs, SharedBytes};
+pub use fabric::BusFabric;
 pub use frame::{DeliveryTag, Frame, Message, MsgId};
 pub use ids::{ChannelName, ClusterId, EntryId, Fd, Pid, Sig};
 pub use link::{FrameClass, LinkLedger};

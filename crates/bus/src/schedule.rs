@@ -12,6 +12,8 @@
 //! an active bus plus a cold standby with instant failover and a per-bus
 //! transmission ledger.
 
+use std::collections::BTreeMap;
+
 use auros_sim::{Dur, VTime};
 
 /// Which physical bus of the dual pair.
@@ -96,6 +98,22 @@ struct FlakyWindow {
     bus: BusKind,
 }
 
+/// Ticks per flaky-index bucket (as a shift): windows are registered in
+/// every 4096-tick bucket they overlap, so a grant consults exactly one
+/// bucket instead of scanning every window ever declared.
+const FLAKY_BUCKET_BITS: u32 = 12;
+
+/// Buckets beyond which a window is "wide" and kept in a small
+/// linearly-scanned side list instead of being splatted across the index.
+const FLAKY_WIDE_BUCKETS: u64 = 4096;
+
+fn bus_code(bus: BusKind) -> u8 {
+    match bus {
+        BusKind::A => 0,
+        BusKind::B => 1,
+    }
+}
+
 /// The transmission schedule of the (dual) intercluster bus.
 #[derive(Debug)]
 pub struct BusSchedule {
@@ -107,10 +125,20 @@ pub struct BusSchedule {
     a_failed: bool,
     b_failed: bool,
     /// One-shot armed faults: the first window starting at or after the
-    /// arm time absorbs the fault. Kept sorted by arm time.
+    /// arm time absorbs the fault. Kept sorted by arm time, so only the
+    /// front can match a grant — the per-grant check is O(1).
     armed: Vec<(VTime, WireFault)>,
     /// Sustained flaky windows (deterministic per-bus fault storms).
     flaky: Vec<FlakyWindow>,
+    /// Index of `flaky` by (bus, time bucket): a grant consults one
+    /// bucket's (typically empty or one-element) id list.
+    flaky_index: BTreeMap<(u8, u64), Vec<u32>>,
+    /// Windows too wide for per-bucket registration; scanned linearly.
+    flaky_wide: Vec<u32>,
+    /// How many grants actually probed the fault structures. Fault-free
+    /// configurations must keep this at zero (asserted by tests): the
+    /// hot path pays nothing for the fault machinery's existence.
+    fault_probes: u64,
     /// Cycles the fault kind injected inside flaky windows.
     flaky_seq: u64,
     /// Quarantine flags: the bus is healthy hardware-wise but has been
@@ -140,6 +168,9 @@ impl BusSchedule {
             b_failed: false,
             armed: Vec::new(),
             flaky: Vec::new(),
+            flaky_index: BTreeMap::new(),
+            flaky_wide: Vec::new(),
+            fault_probes: 0,
             flaky_seq: 0,
             a_quarantined: false,
             b_quarantined: false,
@@ -272,17 +303,51 @@ impl BusSchedule {
     /// carries with a window start inside the span is mangled, cycling
     /// deterministically through drop/corrupt/drop/duplicate.
     pub fn add_flaky_window(&mut self, from: VTime, until: VTime, bus: BusKind) {
+        let id = self.flaky.len() as u32;
         self.flaky.push(FlakyWindow { from, until, bus });
+        if from >= until {
+            return; // Empty span: never matches, never indexed.
+        }
+        let first = from.ticks() >> FLAKY_BUCKET_BITS;
+        let last = (until.ticks() - 1) >> FLAKY_BUCKET_BITS;
+        if last - first >= FLAKY_WIDE_BUCKETS {
+            self.flaky_wide.push(id);
+            return;
+        }
+        for bucket in first..=last {
+            self.flaky_index.entry((bus_code(bus), bucket)).or_default().push(id);
+        }
+    }
+
+    /// Whether any flaky window on `bus` covers `at`. One bucket lookup
+    /// plus the (normally empty) wide list — independent of how many
+    /// windows a long campaign has declared.
+    fn flaky_covers(&self, bus: BusKind, at: VTime) -> bool {
+        let hit = |&id: &u32| {
+            let w = &self.flaky[id as usize];
+            w.from <= at && at < w.until
+        };
+        let key = (bus_code(bus), at.ticks() >> FLAKY_BUCKET_BITS);
+        self.flaky_index.get(&key).is_some_and(|ids| ids.iter().any(hit))
+            || self.flaky_wide.iter().any(|&id| self.flaky[id as usize].bus == bus && hit(&id))
     }
 
     fn pick_fault(&mut self, bus: BusKind, start: VTime) -> Option<WireFault> {
+        if self.armed.is_empty() && self.flaky.is_empty() {
+            // The fault-free fast path: no probe of any fault structure.
+            self.note_fault(bus, false);
+            return None;
+        }
+        self.fault_probes += 1;
         // One-shot armed faults fire on whichever bus carries the frame.
-        if let Some(idx) = self.armed.iter().position(|(t, _)| *t <= start) {
-            let (_, fault) = self.armed.remove(idx);
+        // `armed` is sorted by arm time, so if any entry matches the
+        // earliest-armed one does: a front check replaces the old scan.
+        if self.armed.first().is_some_and(|(t, _)| *t <= start) {
+            let (_, fault) = self.armed.remove(0);
             self.note_fault(bus, true);
             return Some(fault);
         }
-        if self.flaky.iter().any(|w| w.bus == bus && w.from <= start && start < w.until) {
+        if self.flaky_covers(bus, start) {
             const CYCLE: [WireFault; 4] =
                 [WireFault::Drop, WireFault::Corrupt, WireFault::Drop, WireFault::Duplicate];
             let fault = CYCLE[(self.flaky_seq % 4) as usize];
@@ -292,6 +357,11 @@ impl BusSchedule {
         }
         self.note_fault(bus, false);
         None
+    }
+
+    /// Grants that probed the fault structures (zero in fault-free runs).
+    pub fn fault_probes(&self) -> u64 {
+        self.fault_probes
     }
 
     fn note_fault(&mut self, bus: BusKind, faulted: bool) {
@@ -354,8 +424,25 @@ impl BusSchedule {
     /// Whether a probe frame sent on `bus` at `now` would survive: the
     /// bus is not failed and no flaky window covers `now`.
     pub fn probe_ok(&self, bus: BusKind, now: VTime) -> bool {
-        !self.failed(bus)
-            && !self.flaky.iter().any(|w| w.bus == bus && w.from <= now && now < w.until)
+        !self.failed(bus) && !self.flaky_covers(bus, now)
+    }
+
+    /// Accounts a gateway-forwarded frame's occupancy of this segment's
+    /// bus (fleet configurations): the forwarded copy takes the next
+    /// window at or after `earliest` on the active bus. No fault pick —
+    /// the fault, if any, was realized on the sender's home segment —
+    /// and no frame/retry count: the copy is billed as busy time only.
+    /// A segment with no healthy bus absorbs nothing (the gateway's
+    /// delivery instant is fixed by the home window either way).
+    pub fn account_forward(&mut self, earliest: VTime, xmit: Dur) {
+        let Some(bus) = self.active() else { return };
+        let start = self.free_at.max(earliest);
+        self.free_at = start + xmit;
+        let c = match bus {
+            BusKind::A => &mut self.a,
+            BusKind::B => &mut self.b,
+        };
+        c.busy += xmit.as_ticks();
     }
 
     /// When the bus next becomes free.
@@ -382,16 +469,22 @@ impl BusSchedule {
 
     /// Publishes both buses' traffic ledgers into the metrics registry.
     pub fn publish_metrics(&self, reg: &mut auros_sim::MetricsRegistry) {
+        self.publish_metrics_prefixed("", reg);
+    }
+
+    /// [`Self::publish_metrics`] under a name prefix (fleet fabrics
+    /// publish each segment as `segment.<i>.bus.a.frames`, …).
+    pub fn publish_metrics_prefixed(&self, prefix: &str, reg: &mut auros_sim::MetricsRegistry) {
         for (name, c, failed, quarantined) in [
             ("bus.a", &self.a, self.a_failed, self.a_quarantined),
             ("bus.b", &self.b, self.b_failed, self.b_quarantined),
         ] {
-            reg.set(&format!("{name}.frames"), c.frames);
-            reg.set(&format!("{name}.bytes"), c.bytes);
-            reg.set(&format!("{name}.busy_ticks"), c.busy);
-            reg.set(&format!("{name}.retries"), c.retries);
-            reg.set(&format!("{name}.failed"), failed as u64);
-            reg.set(&format!("{name}.quarantined"), quarantined as u64);
+            reg.set_owned(format!("{prefix}{name}.frames"), c.frames);
+            reg.set_owned(format!("{prefix}{name}.bytes"), c.bytes);
+            reg.set_owned(format!("{prefix}{name}.busy_ticks"), c.busy);
+            reg.set_owned(format!("{prefix}{name}.retries"), c.retries);
+            reg.set_owned(format!("{prefix}{name}.failed"), failed as u64);
+            reg.set_owned(format!("{prefix}{name}.quarantined"), quarantined as u64);
         }
     }
 }
@@ -545,6 +638,37 @@ mod tests {
         assert!(!bus.is_quarantined(BusKind::A), "necessity overrides quarantine");
         let r = bus.reserve(VTime(0), Dur(10), 1).unwrap();
         assert_eq!(r.bus, BusKind::A);
+    }
+
+    #[test]
+    fn fault_free_grants_probe_no_fault_structures() {
+        let mut bus = BusSchedule::new();
+        for _ in 0..10_000 {
+            bus.reserve(VTime(0), Dur(10), 16);
+        }
+        assert_eq!(bus.fault_probes(), 0, "fault-free grants must not touch fault state");
+        // Arming anything turns probing on — and the count stays honest.
+        bus.arm_fault(VTime(0), WireFault::Drop);
+        bus.reserve(VTime(0), Dur(10), 16);
+        assert_eq!(bus.fault_probes(), 1);
+    }
+
+    #[test]
+    fn flaky_index_matches_spans_crossing_bucket_boundaries() {
+        let mut bus = BusSchedule::new();
+        // Spans a 4096-tick bucket boundary; matched from both sides.
+        bus.add_flaky_window(VTime(4000), VTime(4200), BusKind::A);
+        assert!(!bus.probe_ok(BusKind::A, VTime(4095)));
+        assert!(!bus.probe_ok(BusKind::A, VTime(4100)));
+        assert!(bus.probe_ok(BusKind::A, VTime(3999)));
+        assert!(bus.probe_ok(BusKind::A, VTime(4200)));
+        // A very wide window falls back to the wide list but still works.
+        bus.add_flaky_window(VTime(0), VTime(u64::MAX / 2), BusKind::B);
+        assert!(!bus.probe_ok(BusKind::B, VTime(123_456_789)));
+        assert!(bus.probe_ok(BusKind::B, VTime(u64::MAX / 2)));
+        // Empty spans never match anything.
+        bus.add_flaky_window(VTime(500), VTime(500), BusKind::A);
+        assert!(bus.probe_ok(BusKind::A, VTime(500)));
     }
 
     #[test]

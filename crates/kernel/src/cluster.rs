@@ -6,7 +6,7 @@
 //! the stored backup records, and the birth notices that drive fork
 //! replay (§7.7).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use auros_bus::proto::{BackupMode, ChanEnd, KernelState, SharedImage};
@@ -129,6 +129,12 @@ pub struct Cluster {
     pub births: BTreeMap<(Pid, u64), BirthRecord>,
     /// Run queue.
     pub runnable: VecDeque<Pid>,
+    /// Membership index of [`Cluster::runnable`], so enqueue/dequeue
+    /// stay `O(log n)` instead of scanning the deque.
+    queued: BTreeSet<Pid>,
+    /// Resident primaries that are neither servers nor dead. Summed
+    /// fleet-wide by the world so completion checks need no fleet scan.
+    pub live_users: u64,
     /// Per-work-processor next-free time.
     pub work_free: Vec<VTime>,
     /// Executive-processor next-free time.
@@ -167,6 +173,8 @@ impl Cluster {
             backups: BTreeMap::new(),
             births: BTreeMap::new(),
             runnable: VecDeque::new(),
+            queued: BTreeSet::new(),
+            live_users: 0,
             work_free: vec![VTime::ZERO; work_processors as usize],
             exec_free: VTime::ZERO,
             outgoing_disabled: false,
@@ -192,14 +200,23 @@ impl Cluster {
 
     /// Enqueues `pid` on the run queue unless already queued.
     pub fn make_runnable(&mut self, pid: Pid) {
-        if !self.runnable.contains(&pid) {
+        if self.queued.insert(pid) {
             self.runnable.push_back(pid);
         }
     }
 
     /// Removes a process from the run queue.
     pub fn unqueue(&mut self, pid: Pid) {
-        self.runnable.retain(|p| *p != pid);
+        if self.queued.remove(&pid) {
+            self.runnable.retain(|p| *p != pid);
+        }
+    }
+
+    /// Dequeues the next runnable process in FIFO order.
+    pub fn take_runnable(&mut self) -> Option<Pid> {
+        let pid = self.runnable.pop_front()?;
+        self.queued.remove(&pid);
+        Some(pid)
     }
 
     /// Whether crash handling currently occupies the work processors.

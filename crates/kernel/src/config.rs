@@ -67,6 +67,10 @@ pub struct CostModel {
     /// Wire-duplicate fault model: lag between the two copies of a
     /// duplicated frame.
     pub dup_lag: Dur,
+    /// Segmented fleets: fixed store-and-forward latency an inter-segment
+    /// gateway adds to a frame that leaves its sender's bus segment.
+    /// Unused (and unobservable) when the bus is a single segment.
+    pub gateway_latency: Dur,
 }
 
 impl Default for CostModel {
@@ -92,6 +96,7 @@ impl Default for CostModel {
             nak_latency: Dur(8),
             probe_interval: Dur(4_000),
             dup_lag: Dur(7),
+            gateway_latency: Dur(30),
         }
     }
 }
@@ -196,6 +201,13 @@ pub struct Config {
     /// Supervision: consecutive deaths on the same message before the
     /// message is quarantined into the dead-letter ledger as poison.
     pub poison_after: u32,
+    /// Fleet scaling: clusters per bus segment. `0` (the default) keeps
+    /// the paper's single broadcast domain — required for ≤ 32 clusters
+    /// to stay byte-identical with every historical run. A non-zero
+    /// value partitions the fleet into `ceil(clusters / size)` segments,
+    /// each with its own dual bus pair, joined by deterministic
+    /// store-and-forward gateways (`CostModel::gateway_latency`).
+    pub bus_segment_size: u16,
 }
 
 impl Default for Config {
@@ -220,6 +232,7 @@ impl Default for Config {
             restart_window: Dur(400_000),
             restart_backoff: Dur(500),
             poison_after: 3,
+            bus_segment_size: 0,
         }
     }
 }
@@ -240,8 +253,19 @@ impl Config {
         if self.clusters < 2 {
             return Err("at least two clusters are required for backups".into());
         }
-        if self.clusters > 32 {
-            return Err("the Auragen 4000 supports at most 32 clusters".into());
+        if self.bus_segment_size == 0 {
+            if self.clusters > 32 {
+                return Err("one broadcast domain supports at most 32 clusters; larger fleets \
+                     must set bus_segment_size to partition the bus into segments"
+                    .into());
+            }
+        } else {
+            if self.bus_segment_size < 2 || self.bus_segment_size > 32 {
+                return Err("a bus segment is a broadcast domain of 2–32 clusters".into());
+            }
+            if self.clusters > 4096 {
+                return Err("fleet configurations support at most 4096 clusters".into());
+            }
         }
         if self.work_processors == 0 {
             return Err("each cluster needs at least one work processor".into());
@@ -298,6 +322,21 @@ mod tests {
         assert!(Config { restart_window: Dur::ZERO, ..Config::default() }.validate().is_err());
         assert!(Config { restart_backoff: Dur::ZERO, ..Config::default() }.validate().is_err());
         assert!(Config { poison_after: 0, ..Config::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn segmented_fleets_lift_the_cluster_cap() {
+        // Unsegmented: 64 clusters is rejected (one broadcast domain).
+        assert!(Config { clusters: 64, ..Config::default() }.validate().is_err());
+        // Segmented: fleets up to 4096 clusters are valid.
+        let seg = |clusters, size| Config { clusters, bus_segment_size: size, ..Config::default() };
+        assert!(seg(64, 16).validate().is_ok());
+        assert!(seg(4096, 32).validate().is_ok());
+        assert!(seg(5000, 32).validate().is_err(), "4096 is the fleet ceiling");
+        assert!(seg(64, 1).validate().is_err(), "a 1-cluster segment cannot host backups");
+        assert!(seg(64, 33).validate().is_err(), "a segment is still a ≤32 broadcast domain");
+        // Segmenting a paper-sized machine is allowed (k-segment twins).
+        assert!(seg(8, 4).validate().is_ok());
     }
 
     #[test]

@@ -29,6 +29,11 @@ impl World {
         }
         self.clusters[ci].alive = false;
         self.clusters[ci].crashed_at = Some(now);
+        // Every live user resident here leaves the fleet-wide count at
+        // once; the per-cluster count stays with the dead incarnation
+        // (its pcbs are untouched until restore replaces the cluster).
+        self.live_users_total -= self.clusters[ci].live_users;
+        self.unannounced_dead.push(cid);
         self.stats.note_crash(cid, now);
         self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::ClusterCrashed);
         // The live-target set shrank: frames held only because the dead
@@ -304,6 +309,9 @@ impl World {
         }
         let prev = self.clusters[ci].procs.insert(pid, pcb);
         debug_assert!(prev.is_none_or(|p| p.is_dead()), "promotion over a live process");
+        if !is_server {
+            self.note_user_born(cid);
+        }
         // Promote the saved routing entries: queues become live, write
         // counts become suppression budgets (§5.4).
         let ends = self.clusters[ci].routing.backup_ends_of(pid);
@@ -374,8 +382,12 @@ impl World {
         // hold everything unread since the last sync). No exit status is
         // recorded — the process is not finished, it is moving.
         if let Some(pcb) = self.clusters[ci].procs.get_mut(&pid) {
+            let was_user = !pcb.is_server();
             pcb.state = ProcessState::Killed;
             pcb.run_token += 1;
+            if was_user {
+                self.note_user_dead(cid);
+            }
         }
         self.clusters[ci].unqueue(pid);
         let ends = self.clusters[ci].routing.ends_of(pid);

@@ -171,6 +171,22 @@ pub struct RoutingTable {
     primary_by_owner: BTreeMap<Pid, BTreeSet<ChanEnd>>,
     /// Index: owner pid → backup ends held for it here.
     backup_by_owner: BTreeMap<Pid, BTreeSet<ChanEnd>>,
+    /// Index: owner pid → front arrival sequence → end, for live ends
+    /// with queued messages. Answers "does this process have work" and
+    /// "which end's front arrived earliest" in O(log n): a server
+    /// cluster's table holds an end per process in the fleet, and both
+    /// questions are asked on every delivery and every server step.
+    /// Front sequences are unique per cluster, so the map's first key is
+    /// exactly the `min (front_seq, end)` the scan used to compute.
+    ready_by_owner: BTreeMap<Pid, BTreeMap<u64, ChanEnd>>,
+    /// Index: owner pid → live ends with `reads_since_sync > 0`. A sync
+    /// record reports per-end read counts; at most `sync_max_reads` ends
+    /// are dirty between syncs, so collecting them must not walk every
+    /// owned end (a server owns one per process in the fleet).
+    dirty_reads: BTreeMap<Pid, BTreeSet<ChanEnd>>,
+    /// Index: owner pid → live ends with `suppress_writes > 0` (residual
+    /// rollforward suppression, reported in every sync record).
+    suppressed: BTreeMap<Pid, BTreeSet<ChanEnd>>,
     /// Next arrival sequence number.
     next_arrival: u64,
 }
@@ -207,6 +223,15 @@ impl RoutingTable {
         }
     }
 
+    fn unready(ix: &mut BTreeMap<Pid, BTreeMap<u64, ChanEnd>>, owner: Pid, seq: u64) {
+        if let Some(m) = ix.get_mut(&owner) {
+            m.remove(&seq);
+            if m.is_empty() {
+                ix.remove(&owner);
+            }
+        }
+    }
+
     // -- primary side ---------------------------------------------------
 
     /// The live entry for `end`, if any.
@@ -224,16 +249,35 @@ impl RoutingTable {
         self.primary.contains_key(end)
     }
 
-    /// Inserts (or replaces) the live entry for `end`.
+    /// Inserts (or replaces) the live entry for `end`. Promotion inserts
+    /// entries whose saved queue is non-empty; their front goes straight
+    /// into the ready index.
     pub fn insert_primary(&mut self, end: ChanEnd, entry: Entry) -> Option<Entry> {
         let owner = entry.owner;
+        let front = entry.queue.front().map(|q| q.arrival_seq);
+        let dirty = entry.reads_since_sync > 0;
+        let suppressing = entry.suppress_writes > 0;
         let prev = self.primary.insert(end, entry);
         if let Some(p) = &prev {
+            if let Some(f) = p.queue.front() {
+                Self::unready(&mut self.ready_by_owner, p.owner, f.arrival_seq);
+            }
+            Self::unindex(&mut self.dirty_reads, p.owner, end);
+            Self::unindex(&mut self.suppressed, p.owner, end);
             if p.owner != owner {
                 Self::unindex(&mut self.primary_by_owner, p.owner, end);
             }
         }
         self.primary_by_owner.entry(owner).or_default().insert(end);
+        if let Some(f) = front {
+            self.ready_by_owner.entry(owner).or_default().insert(f, end);
+        }
+        if dirty {
+            self.dirty_reads.entry(owner).or_default().insert(end);
+        }
+        if suppressing {
+            self.suppressed.entry(owner).or_default().insert(end);
+        }
         prev
     }
 
@@ -256,8 +300,133 @@ impl RoutingTable {
         let prev = self.primary.remove(end);
         if let Some(p) = &prev {
             Self::unindex(&mut self.primary_by_owner, p.owner, *end);
+            Self::unindex(&mut self.dirty_reads, p.owner, *end);
+            Self::unindex(&mut self.suppressed, p.owner, *end);
+            if let Some(f) = p.queue.front() {
+                Self::unready(&mut self.ready_by_owner, p.owner, f.arrival_seq);
+            }
         }
         prev
+    }
+
+    /// Stamps an arrival sequence and appends `msg` to the live entry's
+    /// queue, maintaining the ready index. `None` (and no stamp) if no
+    /// entry exists for `end`. This is the only way messages enter a
+    /// primary queue — `primary_mut` callers touch flags and counters,
+    /// never queues, so the index cannot drift.
+    pub fn enqueue_primary(&mut self, end: ChanEnd, msg: Message) -> Option<u64> {
+        let e = self.primary.get_mut(&end)?;
+        let seq = self.next_arrival;
+        self.next_arrival += 1;
+        let was_empty = e.queue.is_empty();
+        let owner = e.owner;
+        e.queue.push_back(Queued { arrival_seq: seq, msg });
+        if was_empty {
+            self.ready_by_owner.entry(owner).or_default().insert(seq, end);
+        }
+        Some(seq)
+    }
+
+    /// Pops the front of the live entry's queue, maintaining the ready
+    /// index (the sole primary-queue consumer, mirroring
+    /// [`RoutingTable::enqueue_primary`]). A successful pop is a read:
+    /// the entry's `reads_since_sync` is bumped and the end marked dirty
+    /// for the owner's next sync record.
+    pub fn pop_primary_front(&mut self, end: &ChanEnd) -> Option<Queued> {
+        let e = self.primary.get_mut(end)?;
+        let q = e.queue.pop_front()?;
+        e.reads_since_sync += 1;
+        let newly_dirty = e.reads_since_sync == 1;
+        let owner = e.owner;
+        let next = e.queue.front().map(|n| n.arrival_seq);
+        if let Some(m) = self.ready_by_owner.get_mut(&owner) {
+            m.remove(&q.arrival_seq);
+            if let Some(ns) = next {
+                m.insert(ns, *end);
+            }
+            if m.is_empty() {
+                self.ready_by_owner.remove(&owner);
+            }
+        }
+        if newly_dirty {
+            self.dirty_reads.entry(owner).or_default().insert(*end);
+        }
+        Some(q)
+    }
+
+    /// Collects and resets the owner's per-end unsynced read counts, in
+    /// end order — the sync record's `reads_since_sync` list. O(dirty
+    /// ends), not O(owned ends).
+    pub fn drain_dirty_reads(&mut self, pid: Pid) -> Vec<(ChanEnd, u64)> {
+        let Some(ends) = self.dirty_reads.remove(&pid) else {
+            return Vec::new();
+        };
+        let mut reads = Vec::with_capacity(ends.len());
+        for end in ends {
+            // auros-lint: allow(D5) -- invariant: dirty ends are live; removal unindexes them
+            let e = self.primary.get_mut(&end).expect("dirty end is live");
+            reads.push((end, e.reads_since_sync));
+            e.reads_since_sync = 0;
+        }
+        reads
+    }
+
+    /// The owner's ends with residual send suppression, with their
+    /// counts, in end order — the sync record's `residual_suppress`
+    /// list. O(suppressing ends), not O(owned ends).
+    pub fn residual_suppress_of(&self, pid: Pid) -> Vec<(ChanEnd, u64)> {
+        let Some(ends) = self.suppressed.get(&pid) else {
+            return Vec::new();
+        };
+        ends.iter()
+            .map(|end| {
+                // auros-lint: allow(D5) -- invariant: suppressing ends are live; removal unindexes them
+                (*end, self.primary.get(end).expect("suppressing end is live").suppress_writes)
+            })
+            .collect()
+    }
+
+    /// Spends one unit of the entry's rollforward suppression budget
+    /// (§5.4), keeping the suppression index exact. `false` if there is
+    /// no entry or no budget left.
+    pub fn consume_suppress(&mut self, end: &ChanEnd) -> bool {
+        let Some(e) = self.primary.get_mut(end) else {
+            return false;
+        };
+        if e.suppress_writes == 0 {
+            return false;
+        }
+        e.suppress_writes -= 1;
+        if e.suppress_writes == 0 {
+            Self::unindex(&mut self.suppressed, e.owner, *end);
+        }
+        true
+    }
+
+    /// Adds one unit of rollforward suppression to the entry (a backup
+    /// write count arriving after promotion), keeping the index exact.
+    pub fn add_suppress(&mut self, end: &ChanEnd) -> bool {
+        let Some(e) = self.primary.get_mut(end) else {
+            return false;
+        };
+        e.suppress_writes += 1;
+        if e.suppress_writes == 1 {
+            self.suppressed.entry(e.owner).or_default().insert(*end);
+        }
+        true
+    }
+
+    /// Whether any live end owned by `pid` has a queued message.
+    pub fn has_ready(&self, pid: Pid) -> bool {
+        self.ready_by_owner.contains_key(&pid)
+    }
+
+    /// The owned end whose front message arrived earliest, with that
+    /// front's arrival sequence — what a server's step scan used to
+    /// recompute over every owned end.
+    pub fn earliest_ready(&self, pid: Pid) -> Option<(u64, ChanEnd)> {
+        let (seq, end) = self.ready_by_owner.get(&pid)?.iter().next()?;
+        Some((*seq, *end))
     }
 
     /// All live entries, in end order.
@@ -375,6 +544,40 @@ impl RoutingTable {
             return Err(format!(
                 "backup owner index diverged: recomputed {want_backup:?}, stored {:?}",
                 self.backup_by_owner
+            ));
+        }
+        let mut want_ready: BTreeMap<Pid, BTreeMap<u64, ChanEnd>> = BTreeMap::new();
+        for (end, e) in &self.primary {
+            if let Some(q) = e.queue.front() {
+                want_ready.entry(e.owner).or_default().insert(q.arrival_seq, *end);
+            }
+        }
+        if want_ready != self.ready_by_owner {
+            return Err(format!(
+                "ready index diverged: recomputed {want_ready:?}, stored {:?}",
+                self.ready_by_owner
+            ));
+        }
+        let mut want_dirty: BTreeMap<Pid, BTreeSet<ChanEnd>> = BTreeMap::new();
+        let mut want_suppressed: BTreeMap<Pid, BTreeSet<ChanEnd>> = BTreeMap::new();
+        for (end, e) in &self.primary {
+            if e.reads_since_sync > 0 {
+                want_dirty.entry(e.owner).or_default().insert(*end);
+            }
+            if e.suppress_writes > 0 {
+                want_suppressed.entry(e.owner).or_default().insert(*end);
+            }
+        }
+        if want_dirty != self.dirty_reads {
+            return Err(format!(
+                "dirty-read index diverged: recomputed {want_dirty:?}, stored {:?}",
+                self.dirty_reads
+            ));
+        }
+        if want_suppressed != self.suppressed {
+            return Err(format!(
+                "suppression index diverged: recomputed {want_suppressed:?}, stored {:?}",
+                self.suppressed
             ));
         }
         Ok(())

@@ -93,7 +93,9 @@ impl World {
             self.stats.clusters[b.0 as usize].backups_created += 1;
         }
         self.clusters[cluster.0 as usize].procs.insert(pid, pcb);
+        self.note_user_born(cluster);
         self.spawned.push(pid);
+        self.spawned_pending.insert(pid);
         self.wake(cluster, pid);
         pid
     }

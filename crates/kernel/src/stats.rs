@@ -259,7 +259,7 @@ impl WorldStats {
                 ("promotions", c.promotions),
                 ("suppressed_sends", c.suppressed_sends),
             ] {
-                reg.set(&format!("cluster.{i}.{field}"), v);
+                reg.set_owned(format!("cluster.{i}.{field}"), v);
             }
         }
         for r in &self.recoveries {

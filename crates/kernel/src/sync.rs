@@ -150,21 +150,12 @@ impl World {
     ) -> SyncRecord {
         let ci = cid.0 as usize;
         // Collect per-end read counts and residual suppression, resetting
-        // the former (§5.2).
-        let mut reads = Vec::new();
-        let mut residual = Vec::new();
-        for (end, e) in self.clusters[ci].routing.primary_iter_mut() {
-            if e.owner != pid {
-                continue;
-            }
-            if e.reads_since_sync > 0 {
-                reads.push((*end, e.reads_since_sync));
-                e.reads_since_sync = 0;
-            }
-            if e.suppress_writes > 0 {
-                residual.push((*end, e.suppress_writes));
-            }
-        }
+        // the former (§5.2). Walks the dirty/suppressed indexes, not the
+        // owner's full end list: a server owns an end per process in the
+        // fleet, syncs constantly, and touches at most `sync_max_reads`
+        // ends between syncs.
+        let reads = self.clusters[ci].routing.drain_dirty_reads(pid);
+        let residual = self.clusters[ci].routing.residual_suppress_of(pid);
         // auros-lint: allow(D5) -- invariant: sole caller perform_sync returns early unless pid is live in this cluster
         let pcb = self.clusters[ci].procs.get_mut(&pid).expect("caller checked");
         pcb.sync_seq += 1;
@@ -221,10 +212,10 @@ impl World {
         let mut channels = Vec::new();
         let mut queues = Vec::new();
         let mut write_counts = Vec::new();
-        for (end, e) in self.clusters[ci].routing.primary_iter() {
-            if e.owner != pid {
-                continue;
-            }
+        for end in self.clusters[ci].routing.ends_of(pid) {
+            // auros-lint: allow(D5) -- invariant: ends_of lists only live primary entries
+            let e = self.clusters[ci].routing.primary(&end).expect("indexed end exists");
+            let end = &end;
             channels.push(ChannelInit {
                 end: *end,
                 owner: pid,

@@ -221,7 +221,11 @@ impl World {
             (pcb.backup.cluster(), pcb.is_server())
         };
         self.clusters[ci].unqueue(pid);
+        if !is_server {
+            self.note_user_dead(cid);
+        }
         self.exits.insert(pid, status);
+        self.spawned_pending.remove(&pid);
         self.stats.exits += 1;
         let now = self.now();
         self.trace.emit(now, Loc::Cluster(cid.0), TraceKind::Finished { pid: pid.0, status });
@@ -367,10 +371,7 @@ impl World {
         if c.procs.get(&pid).is_some_and(|p| p.device_pending) {
             return true;
         }
-        c.routing
-            .ends_of(pid)
-            .into_iter()
-            .any(|end| c.routing.primary(&end).is_some_and(|e| !e.queue.is_empty()))
+        c.routing.has_ready(pid)
     }
 
     /// Consumes the front message of an entry, updating read counts.
@@ -381,9 +382,7 @@ impl World {
         end: auros_bus::proto::ChanEnd,
     ) -> Option<crate::routing::Queued> {
         let ci = cid.0 as usize;
-        let entry = self.clusters[ci].routing.primary_mut(&end)?;
-        let q = entry.queue.pop_front()?;
-        entry.reads_since_sync += 1;
+        let q = self.clusters[ci].routing.pop_primary_front(&end)?;
         let now = self.now();
         self.trace.emit(
             now,
@@ -1123,21 +1122,10 @@ impl World {
     pub(crate) fn run_server_step(&mut self, cid: ClusterId, pid: Pid, _worker: usize) -> Dur {
         let ci = cid.0 as usize;
         // Earliest queued message across all owned ends, deterministic.
-        // The owner index narrows this to the server's own ends instead
-        // of scanning the whole cluster table.
-        let best = {
-            let c = &self.clusters[ci];
-            c.routing
-                .ends_of(pid)
-                .into_iter()
-                .filter_map(|end| {
-                    c.routing
-                        .primary(&end)
-                        .and_then(|e| e.queue.front())
-                        .map(|q| (q.arrival_seq, end))
-                })
-                .min()
-        };
+        // The ready index answers this in O(log n) — a scan of the
+        // server's own ends is still an O(fleet) walk on a server
+        // cluster, once per message handled.
+        let best = self.clusters[ci].routing.earliest_ready(pid);
         let base = self.cfg.costs.server_handle;
         let effects = if let Some((_, end)) = best {
             let q = self.consume_front(cid, pid, end).expect("front vanished");
@@ -1393,6 +1381,7 @@ impl World {
         pcb.next_fd = 2;
         let prev = self.clusters[ci].procs.insert(child, pcb);
         assert!(prev.is_none(), "pid collision on fork: {child}");
+        self.note_user_born(cid);
         // Birth notice to the backup cluster (§7.7): creates routing
         // entries for the channels created on fork.
         if let Some(b) = backup_cluster.filter(|_| self.cfg.ft_enabled()) {
@@ -1495,7 +1484,9 @@ impl World {
         pcb.fds.insert(Fd(0), bootstrap_end(child, ports::FS));
         pcb.fds.insert(Fd(1), bootstrap_end(child, ports::PROC));
         pcb.next_fd = 2;
-        self.clusters[ci].procs.insert(child, pcb);
+        let prev = self.clusters[ci].procs.insert(child, pcb);
+        debug_assert!(prev.is_none_or(|p| p.is_dead()), "fork replay over a live child");
+        self.note_user_born(cid);
         // Promote the child's backup entries (queues + write counts).
         let ends = self.clusters[ci].routing.backup_ends_of(child);
         for end in ends {

@@ -6,7 +6,7 @@
 //! clusters in a single `BusDeliver` event — all-or-none delivery with no
 //! interleaving, by construction.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use auros_bus::proto::kernel_pid;
 use auros_bus::proto::{
@@ -15,8 +15,8 @@ use auros_bus::proto::{
 };
 use auros_bus::schedule::Reservation;
 use auros_bus::{
-    BusKind, BusSchedule, ClusterId, DeliveryTag, Frame, FrameClass, LinkLedger, Message, MsgId,
-    Pid, WireFault,
+    BusFabric, BusKind, ClusterId, DeliveryTag, Frame, FrameClass, LinkLedger, Message, MsgId, Pid,
+    WireFault,
 };
 use auros_sim::trace::RetryWhy;
 use auros_sim::{Dur, EventQueue, Loc, MetricsRegistry, TraceKind, TraceLog, VTime};
@@ -267,8 +267,9 @@ pub struct World {
     pub cfg: Config,
     /// Event queue (owns the clock).
     pub queue: EventQueue<Event>,
-    /// The dual intercluster bus.
-    pub bus: BusSchedule,
+    /// The intercluster bus fabric: one dual-bus broadcast domain for
+    /// paper-sized machines, or gateway-joined segments for fleets.
+    pub bus: BusFabric,
     /// The clusters.
     pub clusters: Vec<Cluster>,
     /// Ledgers.
@@ -283,8 +284,18 @@ pub struct World {
     pub exits: BTreeMap<Pid, u64>,
     /// Pids spawned directly (not forked), for completion queries.
     pub spawned: Vec<Pid>,
+    /// Spawned pids with no exit status yet — the completion check's
+    /// ready set, kept in lockstep with [`World::exits`].
+    pub(crate) spawned_pending: BTreeSet<Pid>,
+    /// Live (non-server, non-dead) primaries across alive clusters: the
+    /// sum of every alive cluster's [`Cluster::live_users`]. Zero means
+    /// no user work remains anywhere, without a fleet scan.
+    pub(crate) live_users_total: u64,
     /// Crashed clusters already announced to the survivors.
     announced_crashes: Vec<ClusterId>,
+    /// Crashes the failure detector has not yet announced; pushed at
+    /// crash time so the poll tick need not scan the fleet.
+    pub(crate) unannounced_dead: Vec<ClusterId>,
     /// Frames on the bus (or queued for it) that have not yet delivered,
     /// keyed by flight id in send order.
     in_flight: BTreeMap<u64, InFlight>,
@@ -306,6 +317,10 @@ pub struct World {
     pub(crate) pending_server_effects: BTreeMap<Pid, crate::syscall::ServerEffects>,
     /// Supervision bookkeeping: restart budgets, poison ledgers.
     pub(crate) supervision: crate::supervise::Supervisor,
+    /// Events popped and handled by the run loops. Host-side benches
+    /// divide this by wall-clock to get events/sec; it is not part of
+    /// the published metrics (virtual-time ledgers stay byte-stable).
+    pub events_processed: u64,
 }
 
 impl World {
@@ -322,7 +337,7 @@ impl World {
             (0..cfg.clusters).map(|i| Cluster::new(ClusterId(i), cfg.work_processors)).collect();
         let mut w = World {
             queue: EventQueue::new(),
-            bus: BusSchedule::new(),
+            bus: BusFabric::new(cfg.clusters, cfg.bus_segment_size, cfg.costs.gateway_latency),
             clusters,
             stats: WorldStats::new(cfg.clusters),
             trace: TraceLog::new(),
@@ -330,7 +345,10 @@ impl World {
             server_devices: BTreeMap::new(),
             exits: BTreeMap::new(),
             spawned: Vec::new(),
+            spawned_pending: BTreeSet::new(),
+            live_users_total: 0,
             announced_crashes: Vec::new(),
+            unannounced_dead: Vec::new(),
             in_flight: BTreeMap::new(),
             next_flight: 0,
             links: LinkLedger::default(),
@@ -342,6 +360,7 @@ impl World {
             server_timers: BTreeMap::new(),
             pending_server_effects: BTreeMap::new(),
             supervision: crate::supervise::Supervisor::default(),
+            events_processed: 0,
             cfg,
         };
         w.queue.schedule(VTime::ZERO + w.cfg.costs.poll_interval, Event::PollTick);
@@ -414,6 +433,7 @@ impl World {
             }
             let (now, ev) = self.queue.pop().expect("peeked event vanished");
             self.stats.now = now;
+            self.events_processed += 1;
             self.handle(ev);
         }
     }
@@ -423,6 +443,7 @@ impl World {
         match self.queue.pop() {
             Some((now, ev)) => {
                 self.stats.now = now;
+                self.events_processed += 1;
                 self.handle(ev);
                 true
             }
@@ -441,6 +462,7 @@ impl World {
                 Some(t) if t <= deadline => {
                     let (now, ev) = self.queue.pop().expect("peeked event vanished");
                     self.stats.now = now;
+                    self.events_processed += 1;
                     self.handle(ev);
                 }
                 _ => return self.all_spawned_done(),
@@ -450,13 +472,48 @@ impl World {
 
     /// Whether every spawned process has exited (anywhere) and no forked
     /// descendant is still running.
+    ///
+    /// `run_to_completion` asks this once per event, so it must not
+    /// scan the fleet: both conditions are maintained incrementally
+    /// (`spawned_pending` at spawn/exit, `live_users_total` at every
+    /// process birth, death, crash, and restore).
     pub fn all_spawned_done(&self) -> bool {
-        self.spawned.iter().all(|p| self.exits.contains_key(p))
-            && self
+        #[cfg(debug_assertions)]
+        {
+            let recount: u64 = self
                 .clusters
                 .iter()
                 .filter(|c| c.alive)
-                .all(|c| c.procs.values().all(|p| p.is_server() || p.is_dead()))
+                .map(|c| c.procs.values().filter(|p| !p.is_server() && !p.is_dead()).count() as u64)
+                .sum();
+            debug_assert_eq!(self.live_users_total, recount, "live-user counter drifted");
+            debug_assert_eq!(
+                self.spawned_pending.is_empty(),
+                self.spawned.iter().all(|p| self.exits.contains_key(p)),
+                "spawned-pending set drifted"
+            );
+        }
+        self.spawned_pending.is_empty() && self.live_users_total == 0
+    }
+
+    /// A non-server primary came to life on `cid` (spawn, fork, or
+    /// promotion over a dead slot).
+    pub(crate) fn note_user_born(&mut self, cid: ClusterId) {
+        let c = &mut self.clusters[cid.0 as usize];
+        c.live_users += 1;
+        if c.alive {
+            self.live_users_total += 1;
+        }
+    }
+
+    /// A non-server primary on `cid` died (exit, kill, or partial
+    /// failure). Cluster crashes are accounted wholesale in `on_crash`.
+    pub(crate) fn note_user_dead(&mut self, cid: ClusterId) {
+        let c = &mut self.clusters[cid.0 as usize];
+        c.live_users -= 1;
+        if c.alive {
+            self.live_users_total -= 1;
+        }
     }
 
     /// Exit status of a process, if it finished.
@@ -552,15 +609,14 @@ impl World {
         {
             self.perform_checkpoint(cid, src);
         }
-        let entry = match self.clusters[ci].routing.primary_mut(&end) {
-            Some(e) => e,
+        let usable = match self.clusters[ci].routing.primary(&end) {
+            Some(e) => e.usable,
             None => return SendOutcome::PeerGone,
         };
-        if !entry.usable {
+        if !usable {
             return SendOutcome::Unusable;
         }
-        if entry.suppress_writes > 0 && !self.cfg.ablations.no_suppression {
-            entry.suppress_writes -= 1;
+        if !self.cfg.ablations.no_suppression && self.clusters[ci].routing.consume_suppress(&end) {
             self.stats.clusters[ci].suppressed_sends += 1;
             let now = self.now();
             self.trace.emit(
@@ -570,6 +626,7 @@ impl World {
             );
             return SendOutcome::Suppressed;
         }
+        let entry = self.clusters[ci].routing.primary(&end).expect("entry checked above");
         if entry.peer_closed {
             return SendOutcome::PeerGone;
         }
@@ -643,7 +700,8 @@ impl World {
         frame.seal(seqs);
         let bytes = frame.wire_size();
         let xmit = self.cfg.costs.bus_xmit(bytes);
-        match self.bus.reserve(exec_ready, xmit, bytes) {
+        let targets = frame.targets.iter().map(|(c, _)| c.0);
+        match self.bus.reserve_routed(cid.0, targets, exec_ready, xmit, bytes) {
             Some(res) => {
                 self.stats.bus_frames += 1;
                 self.stats.bus_bytes += bytes as u64;
@@ -834,7 +892,9 @@ impl World {
         }
         let backoff = self.cfg.costs.retransmit_backoff.saturating_mul(1u64 << attempt.min(6));
         let xmit = self.cfg.costs.bus_xmit(bytes);
-        match self.bus.reserve_retry(now + backoff, xmit, bytes) {
+        let src = frame.src_cluster.0;
+        let targets = frame.targets.iter().map(|(c, _)| c.0);
+        match self.bus.reserve_retry_routed(src, targets, now + backoff, xmit, bytes) {
             Some(res) => {
                 self.stats.bus_busy += xmit;
                 self.stats.proto_retransmits += 1;
@@ -938,7 +998,10 @@ impl World {
                     // copy en route): repeat it on the survivor. Bumping
                     // the attempt invalidates any stale timer or NAK.
                     let xmit = self.cfg.costs.bus_xmit(bytes);
-                    let Some(res) = self.bus.reserve_retry(now, xmit, bytes) else {
+                    let src = frame.src_cluster.0;
+                    let targets = frame.targets.iter().map(|(c, _)| c.0);
+                    let Some(res) = self.bus.reserve_retry_routed(src, targets, now, xmit, bytes)
+                    else {
                         break; // Unreachable: the survivor was healthy.
                     };
                     self.stats.bus_busy += xmit;
@@ -1156,9 +1219,7 @@ impl World {
             self.kernel_port_recv(cid, end, msg.clone());
             return;
         }
-        let seq = c.routing.stamp();
-        let entry = c.routing.primary_mut(&end).expect("entry checked above");
-        entry.queue.push_back(Queued { arrival_seq: seq, msg: msg.clone() });
+        c.routing.enqueue_primary(end, msg.clone()).expect("entry checked above");
         self.stats.clusters[ci].primary_msgs += 1;
         let now = self.now();
         self.trace.emit(
@@ -1255,11 +1316,10 @@ impl World {
             return;
         }
         // Promoted mid-flight: the count becomes a suppression credit.
-        if let Some(e) = c.routing.primary_mut(&end) {
-            if !auros_bus::proto::is_kernel_pid(e.owner) {
-                e.suppress_writes += 1;
-                self.stats.clusters[ci].write_counts += 1;
-            }
+        if c.routing.primary(&end).is_some_and(|e| !auros_bus::proto::is_kernel_pid(e.owner))
+            && c.routing.add_suppress(&end)
+        {
+            self.stats.clusters[ci].write_counts += 1;
         }
     }
 
@@ -1302,7 +1362,7 @@ impl World {
                 }
                 return;
             };
-            let Some(pid) = self.clusters[ci].runnable.pop_front() else {
+            let Some(pid) = self.clusters[ci].take_runnable() else {
                 return;
             };
             let is_server = match self.clusters[ci].procs.get(&pid) {
@@ -1396,12 +1456,15 @@ impl World {
 
     fn on_poll_tick(&mut self) {
         let now = self.now();
-        let dead: Vec<ClusterId> = self
-            .clusters
-            .iter()
-            .filter(|c| !c.alive && !self.announced_crashes.contains(&c.id))
-            .map(|c| c.id)
-            .collect();
+        // Crashes queue themselves at crash time; the detector only
+        // drains that list instead of scanning the fleet. Sorting by
+        // cluster id preserves the fleet scan's announce order, and a
+        // cluster restored between crash and poll is skipped exactly as
+        // the scan (which tested `alive`) would have skipped it.
+        let mut dead = std::mem::take(&mut self.unannounced_dead);
+        dead.sort_unstable_by_key(|c| c.0);
+        dead.dedup();
+        dead.retain(|d| !self.clusters[d.0 as usize].alive && !self.announced_crashes.contains(d));
         for d in dead {
             self.announced_crashes.push(d);
             self.stats.crashes += 1;
@@ -1413,6 +1476,7 @@ impl World {
 
     pub(crate) fn unannounce_restored(&mut self, cid: ClusterId) {
         self.announced_crashes.retain(|c| *c != cid);
+        self.unannounced_dead.retain(|c| *c != cid);
     }
 
     fn on_report_tick(&mut self, cid: ClusterId) {

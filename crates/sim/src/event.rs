@@ -5,9 +5,18 @@
 //! fire in insertion order, which makes every run fully deterministic —
 //! there is no iteration over hash maps or other incidental ordering
 //! anywhere in the dispatch path.
+//!
+//! The default backend is a hierarchical timing wheel (64-slot levels,
+//! enough levels to cover all of `u64` time), giving O(1) amortized
+//! schedule and pop regardless of how many events are pending — the
+//! property that lets one queue drive a 4096-cluster fleet at the same
+//! per-event cost as a 2-cluster machine. The original `BinaryHeap`
+//! backend is retained behind [`EventQueue::new_heap_oracle`] as a
+//! differential oracle: both backends must produce byte-identical pop
+//! streams, and a property test holds them to it.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use crate::time::VTime;
 
@@ -51,6 +60,160 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Slot-index width of one wheel level: 64 slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Mask selecting a slot index out of a time value.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Levels needed so `LEVELS * SLOT_BITS >= 64`: every `u64` tick has a home.
+const LEVELS: usize = 11;
+
+/// Which level an event at `when` belongs to, seen from `cursor`.
+///
+/// An event lives at the lowest level whose slot granularity still
+/// separates it from the cursor: level 0 if it shares all bits above the
+/// slot index with the cursor, level `l` if the highest differing bit is
+/// in slot-index `l`'s bit range. `| SLOT_MASK` pins `when == cursor`
+/// (and everything in the cursor's level-0 block) to level 0.
+fn level_of(cursor: u64, when: u64) -> usize {
+    let diff = (cursor ^ when) | SLOT_MASK;
+    ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+}
+
+/// A hierarchical timing wheel over `(time, seq)`-ordered entries.
+///
+/// Invariants that make pop order identical to the heap's:
+/// - every occupied slot at level `l` has index ≥ the cursor's index at
+///   that level (earlier slots were drained before the cursor advanced),
+///   so all level-`l` entries precede all level-`l+1` entries in time;
+/// - a level-0 slot holds exactly one tick, and its deque is in seq
+///   order: cascades deposit a block's entries before the cursor enters
+///   the block (preserving their relative order), and direct level-0
+///   inserts — only possible once the cursor is inside the block —
+///   append afterwards with necessarily larger seq numbers.
+struct Wheel<E> {
+    /// `LEVELS * SLOTS` deques, level-major.
+    slots: Vec<VecDeque<Entry<E>>>,
+    /// Per-level occupancy bitmap: bit `s` set ⇔ slot `s` is non-empty.
+    occupied: [u64; LEVELS],
+    /// Earliest entry time per slot, level-major, valid while the slot's
+    /// occupancy bit is set. Slots above level 0 only ever empty
+    /// wholesale (a cascade drains the whole deque), so the minimum
+    /// never needs recomputing — it is set on first insert, tightened on
+    /// later ones, and abandoned with the bit. Keeps peek O(1) instead
+    /// of scanning a slot's deque.
+    slot_min: Vec<u64>,
+    /// Internal progress pointer (≤ every stored entry's time). Distinct
+    /// from the queue's public `now`, which only moves on actual pops.
+    cursor: u64,
+    /// Total stored entries, including lazily-cancelled ones.
+    count: usize,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        let mut slots = Vec::with_capacity(LEVELS * SLOTS);
+        for _ in 0..LEVELS * SLOTS {
+            slots.push(VecDeque::new());
+        }
+        Wheel {
+            slots,
+            occupied: [0; LEVELS],
+            slot_min: vec![0; LEVELS * SLOTS],
+            cursor: 0,
+            count: 0,
+        }
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        let when = entry.at.time.0;
+        debug_assert!(when >= self.cursor, "insert below the wheel cursor");
+        let level = level_of(self.cursor, when);
+        let slot = ((when >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        let idx = level * SLOTS + slot;
+        let bit = 1u64 << slot;
+        if self.occupied[level] & bit == 0 {
+            self.occupied[level] |= bit;
+            self.slot_min[idx] = when;
+        } else {
+            self.slot_min[idx] = self.slot_min[idx].min(when);
+        }
+        self.slots[idx].push_back(entry);
+        self.count += 1;
+    }
+
+    /// Removes and returns the globally earliest entry in `(time, seq)`
+    /// order, cascading higher-level blocks open as the cursor reaches
+    /// them. Amortized O(1): each entry cascades at most `LEVELS` times
+    /// over its whole lifetime.
+    fn pop_earliest(&mut self) -> Option<Entry<E>> {
+        if self.count == 0 {
+            // Draining lazily-cancelled entries may have advanced the
+            // cursor past the queue's public `now`. An empty wheel has no
+            // placement constraints, so rewind: every future insert
+            // (clamped to ≥ now) then stays ≥ cursor again.
+            self.cursor = 0;
+            return None;
+        }
+        loop {
+            if self.occupied[0] != 0 {
+                let slot = self.occupied[0].trailing_zeros() as usize;
+                let deque = &mut self.slots[slot];
+                let entry = deque.pop_front()?;
+                if deque.is_empty() {
+                    self.occupied[0] &= !(1u64 << slot);
+                }
+                self.count -= 1;
+                return Some(entry);
+            }
+            // Level 0 is dry: open the earliest occupied block at the
+            // lowest occupied level and redistribute it downward.
+            let level = (1..LEVELS).find(|&l| self.occupied[l] != 0)?;
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.occupied[level] &= !(1u64 << slot);
+            let mut entries = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            // The cursor advances to the block's base tick *before*
+            // redistribution, so re-inserted entries land at levels the
+            // level-0 scan (or a later cascade) will reach.
+            let shift = SLOT_BITS * level as u32;
+            let above = match shift + SLOT_BITS {
+                s if s >= 64 => 0,
+                s => (self.cursor >> s) << s,
+            };
+            self.cursor = above | ((slot as u64) << shift);
+            for e in entries.drain(..) {
+                self.count -= 1; // `insert` re-counts it.
+                self.insert(e);
+            }
+        }
+    }
+
+    /// The earliest stored entry's exact time, without mutating the
+    /// wheel. Must match what [`Self::pop_earliest`] would yield: the
+    /// first occupied slot at the lowest occupied level holds the global
+    /// minimum (an exact tick at level 0; the maintained slot minimum
+    /// above — never a deque scan, so peeking before every pop stays
+    /// O(1) however many events share a far slot).
+    fn peek_earliest_time(&self) -> Option<VTime> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.occupied[0] != 0 {
+            let slot = self.occupied[0].trailing_zeros() as u64;
+            return Some(VTime((self.cursor & !SLOT_MASK) | slot));
+        }
+        let level = (1..LEVELS).find(|&l| self.occupied[l] != 0)?;
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        Some(VTime(self.slot_min[level * SLOTS + slot]))
+    }
+}
+
+enum Backend<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A deterministic time-ordered event queue.
 ///
 /// # Examples
@@ -68,12 +231,12 @@ impl<E> Ord for Entry<E> {
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     now: VTime,
     /// Sequence numbers of scheduled-but-not-yet-fired events. Cancellation
-    /// is lazy: a cancelled entry stays in the heap and is skipped on pop.
-    /// `BTreeSet` per the workspace determinism rule (auros-lint D1) —
+    /// is lazy: a cancelled entry stays in its backend and is skipped on
+    /// pop. `BTreeSet` per the workspace determinism rule (auros-lint D1) —
     /// membership-only today, but nothing here may invite hasher order.
     pending: BTreeSet<u64>,
 }
@@ -85,10 +248,23 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue with the clock at [`VTime::ZERO`].
+    /// Creates an empty queue with the clock at [`VTime::ZERO`], backed by
+    /// the hierarchical timing wheel.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: Backend::Wheel(Wheel::new()),
+            next_seq: 0,
+            now: VTime::ZERO,
+            pending: BTreeSet::new(),
+        }
+    }
+
+    /// Creates an empty queue backed by the original `BinaryHeap`. The
+    /// heap is the differential oracle: any (time, seq) pop-order
+    /// disagreement with the wheel is a bug in the wheel.
+    pub fn new_heap_oracle() -> Self {
+        EventQueue {
+            backend: Backend::Heap(BinaryHeap::new()),
             next_seq: 0,
             now: VTime::ZERO,
             pending: BTreeSet::new(),
@@ -121,7 +297,10 @@ impl<E> EventQueue<E> {
         let at = ScheduledAt { time, seq: self.next_seq };
         self.next_seq += 1;
         self.pending.insert(at.seq);
-        self.heap.push(Entry { at, event });
+        match &mut self.backend {
+            Backend::Wheel(w) => w.insert(Entry { at, event }),
+            Backend::Heap(h) => h.push(Entry { at, event }),
+        }
         at
     }
 
@@ -135,21 +314,29 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest pending event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(VTime, E)> {
-        while let Some(entry) = self.heap.pop() {
+        loop {
+            let entry = match &mut self.backend {
+                Backend::Wheel(w) => w.pop_earliest(),
+                Backend::Heap(h) => h.pop(),
+            }?;
             if !self.pending.remove(&entry.at.seq) {
                 continue; // Cancelled entry: skip.
             }
             self.now = entry.at.time;
             return Some((entry.at.time, entry.event));
         }
-        None
     }
 
     /// The fire time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<VTime> {
-        // Lazy cancellation means the top of the heap may be dead; this is
-        // only used for inspection so a conservative answer is fine.
-        self.heap.peek().map(|e| e.at.time)
+        // Lazy cancellation means the earliest entry may be dead; this is
+        // only used for inspection so a conservative answer is fine. Both
+        // backends answer the same value: the exact minimum time over all
+        // stored entries, cancelled ones included.
+        match &self.backend {
+            Backend::Wheel(w) => w.peek_earliest_time(),
+            Backend::Heap(h) => h.peek().map(|e| e.at.time),
+        }
     }
 }
 
@@ -223,6 +410,56 @@ mod tests {
         assert_eq!(rest, vec![6, 10]);
     }
 
+    /// Far-future times exercise the top wheel levels, including the
+    /// partial 11th level where the slot index has only four live bits,
+    /// and multi-level cascades on the way back down.
+    #[test]
+    fn far_future_and_overflow_buckets() {
+        let mut q = EventQueue::new();
+        let times = [
+            u64::MAX,
+            u64::MAX - 1,
+            1u64 << 63,
+            (1u64 << 60) + 5,
+            (1u64 << 36) + 1,
+            1u64 << 12,
+            65,
+            64,
+            63,
+            1,
+            0,
+        ];
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(VTime(*t), i);
+        }
+        let mut sorted: Vec<u64> = times.to_vec();
+        sorted.sort_unstable();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.0)).collect();
+        assert_eq!(popped, sorted);
+        assert_eq!(q.now(), VTime(u64::MAX));
+        // The drained wheel accepts new (same-tick) work at the far edge.
+        q.schedule(VTime(u64::MAX), 99usize);
+        assert_eq!(q.pop().map(|(t, e)| (t.0, e)), Some((u64::MAX, 99)));
+    }
+
+    #[test]
+    fn peek_matches_heap_semantics_including_cancelled() {
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::new_heap_oracle();
+        let wa = wheel.schedule(VTime(5), "dead");
+        let ha = heap.schedule(VTime(5), "dead");
+        wheel.schedule(VTime(9), "live");
+        heap.schedule(VTime(9), "live");
+        wheel.cancel(wa);
+        heap.cancel(ha);
+        // Both backends report the cancelled entry's earlier time: peek is
+        // a conservative lower bound under lazy cancellation.
+        assert_eq!(wheel.peek_time(), Some(VTime(5)));
+        assert_eq!(heap.peek_time(), wheel.peek_time());
+        assert_eq!(wheel.pop().map(|(_, e)| e), Some("live"));
+        assert_eq!(wheel.peek_time(), None);
+    }
+
     proptest! {
         /// Popping always yields events in nondecreasing time order, and
         /// within a tick in insertion order.
@@ -242,6 +479,54 @@ mod tests {
                     }
                 }
                 last = Some((t, i));
+            }
+        }
+
+        /// Differential oracle: the wheel and the retained heap agree on
+        /// the exact (time, payload) pop stream — and on every peek and
+        /// clock reading along the way — under random interleavings of
+        /// scheduling, cancellation, and partial draining.
+        #[test]
+        fn prop_wheel_matches_heap_oracle(
+            ops in proptest::collection::vec((0u8..4, 0u64..1_000_000, 0usize..64), 1..300),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = EventQueue::new_heap_oracle();
+            let mut handles: Vec<(ScheduledAt, ScheduledAt)> = Vec::new();
+            for (kind, dt, pick) in ops {
+                match kind {
+                    // Schedule at now + dt (dt may be 0: same-tick fifo).
+                    0 | 1 => {
+                        let t = VTime(wheel.now().0.saturating_add(dt));
+                        let id = handles.len();
+                        let w = wheel.schedule(t, id);
+                        let h = heap.schedule(t, id);
+                        prop_assert_eq!(w, h, "handles must be identical");
+                        handles.push((w, h));
+                    }
+                    // Cancel a previously issued handle (possibly stale).
+                    2 if !handles.is_empty() => {
+                        let (w, h) = handles[pick % handles.len()];
+                        prop_assert_eq!(wheel.cancel(w), heap.cancel(h));
+                    }
+                    // Pop one event.
+                    _ => {
+                        prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                        prop_assert_eq!(wheel.pop(), heap.pop());
+                        prop_assert_eq!(wheel.now(), heap.now());
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.len());
+            }
+            // Drain both to the end: the full tail must agree too.
+            loop {
+                prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                let (w, h) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(w, h);
+                prop_assert_eq!(wheel.now(), heap.now());
+                if w.is_none() {
+                    break;
+                }
             }
         }
     }

@@ -12,7 +12,15 @@
 //! Names are dotted paths (`bus.a.frames`, `cluster.0.syncs`,
 //! `kernel.recovery_latency`). Iteration order is the `BTreeMap` name
 //! order, so a rendered registry is byte-stable across runs.
+//!
+//! Hot-path bumps ([`MetricsRegistry::add`], `set`, `observe`) take
+//! `&'static str` so a counter increment allocates nothing once the key
+//! exists — the map stores `Cow<'static, str>` keys and borrows the
+//! static name even on first insert. Names built at run time (per-cluster
+//! paths like `cluster.7.syncs`) go through the `*_owned` variants, which
+//! are for publish-once call sites, not per-event paths.
 
+use std::borrow::{Borrow, Cow};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -96,11 +104,24 @@ impl Histogram {
     }
 }
 
+/// A registry key: either a borrowed `&'static str` (the hot path — no
+/// allocation, ever) or an owned `String` built at publish time. Wrapped
+/// in a newtype because `Cow<'static, str>` itself has no `Borrow<str>`
+/// impl, which map lookups by `&str` need.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Name(Cow<'static, str>);
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
 /// A deterministic registry of named counters and histograms.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
-    hists: BTreeMap<String, Histogram>,
+    counters: BTreeMap<Name, u64>,
+    hists: BTreeMap<Name, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -109,19 +130,36 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Adds `v` to the named counter (creating it at 0).
-    pub fn add(&mut self, name: &str, v: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    /// Adds `v` to the named counter (creating it at 0). Allocation-free:
+    /// the key borrows the static name.
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.counters.entry(Name(Cow::Borrowed(name))).or_insert(0) += v;
     }
 
     /// Sets the named counter to `v` (a gauge-style publish).
-    pub fn set(&mut self, name: &str, v: u64) {
-        self.counters.insert(name.to_string(), v);
+    pub fn set(&mut self, name: &'static str, v: u64) {
+        self.counters.insert(Name(Cow::Borrowed(name)), v);
     }
 
     /// Records one sample into the named histogram (creating it empty).
-    pub fn observe(&mut self, name: &str, v: u64) {
-        self.hists.entry(name.to_string()).or_default().record(v);
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.hists.entry(Name(Cow::Borrowed(name))).or_default().record(v);
+    }
+
+    /// [`Self::add`] for a name built at run time (e.g. a per-cluster
+    /// path). Pays one `String`; keep it out of per-event paths.
+    pub fn add_owned(&mut self, name: String, v: u64) {
+        *self.counters.entry(Name(Cow::Owned(name))).or_insert(0) += v;
+    }
+
+    /// [`Self::set`] for a name built at run time.
+    pub fn set_owned(&mut self, name: String, v: u64) {
+        self.counters.insert(Name(Cow::Owned(name)), v);
+    }
+
+    /// [`Self::observe`] for a name built at run time.
+    pub fn observe_owned(&mut self, name: String, v: u64) {
+        self.hists.entry(Name(Cow::Owned(name))).or_default().record(v);
     }
 
     /// Value of a counter, or 0 if never published.
@@ -136,12 +174,12 @@ impl MetricsRegistry {
 
     /// All counters, in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counters.iter().map(|(k, v)| (&*k.0, *v))
     }
 
     /// All histograms, in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+        self.hists.iter().map(|(k, v)| (&*k.0, v))
     }
 
     /// A byte-stable text rendering: one `name value` line per counter,
@@ -204,6 +242,19 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0);
         assert_eq!(h.quantile(1, 2), 0);
+    }
+
+    #[test]
+    fn owned_and_static_names_share_one_counter() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("bus.a.frames", 2);
+        reg.add_owned("bus.a.frames".to_string(), 3);
+        assert_eq!(reg.get("bus.a.frames"), 5);
+        reg.set_owned("cluster.0.syncs".to_string(), 7);
+        reg.observe_owned("lat".to_string(), 1);
+        reg.observe("lat", 3);
+        assert_eq!(reg.get("cluster.0.syncs"), 7);
+        assert_eq!(reg.histogram("lat").map(|h| h.count()), Some(2));
     }
 
     #[test]
