@@ -8,7 +8,7 @@
 //! only upon rollforward) and the writes-since-sync count that drives
 //! duplicate-send suppression (§5.4).
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{btree_map, BTreeMap, BTreeSet, VecDeque};
 
 use auros_bus::proto::{BackupMode, ChanEnd, ChanKind, ChannelInit};
 use auros_bus::{ClusterId, Message, Pid};
@@ -288,11 +288,27 @@ impl RoutingTable {
         end: ChanEnd,
         make: impl FnOnce() -> Entry,
     ) -> &mut Entry {
-        if !self.primary.contains_key(&end) {
-            self.insert_primary(end, make());
+        match self.primary.entry(end) {
+            btree_map::Entry::Occupied(o) => o.into_mut(),
+            btree_map::Entry::Vacant(v) => {
+                let entry = make();
+                // Insert-side index bookkeeping, mirroring
+                // insert_primary for a fresh entry (nothing to unindex;
+                // the index maps are disjoint fields, so they stay
+                // writable while the vacant slot is held).
+                self.primary_by_owner.entry(entry.owner).or_default().insert(end);
+                if let Some(f) = entry.queue.front() {
+                    self.ready_by_owner.entry(entry.owner).or_default().insert(f.arrival_seq, end);
+                }
+                if entry.reads_since_sync > 0 {
+                    self.dirty_reads.entry(entry.owner).or_default().insert(end);
+                }
+                if entry.suppress_writes > 0 {
+                    self.suppressed.entry(entry.owner).or_default().insert(end);
+                }
+                v.insert(entry)
+            }
         }
-        // auros-lint: allow(D5) -- invariant: inserted above; insert_primary's index bookkeeping prevents returning its borrow directly
-        self.primary.get_mut(&end).expect("just ensured")
     }
 
     /// Removes the live entry for `end`.
@@ -363,8 +379,12 @@ impl RoutingTable {
         };
         let mut reads = Vec::with_capacity(ends.len());
         for end in ends {
-            // auros-lint: allow(D5) -- invariant: dirty ends are live; removal unindexes them
-            let e = self.primary.get_mut(&end).expect("dirty end is live");
+            // Dirty ends are live by construction (removal unindexes
+            // them); if the table is ever degraded, the end simply
+            // contributes no reads instead of panicking mid-sync.
+            let Some(e) = self.primary.get_mut(&end) else {
+                continue;
+            };
             reads.push((end, e.reads_since_sync));
             e.reads_since_sync = 0;
         }
@@ -379,10 +399,10 @@ impl RoutingTable {
             return Vec::new();
         };
         ends.iter()
-            .map(|end| {
-                // auros-lint: allow(D5) -- invariant: suppressing ends are live; removal unindexes them
-                (*end, self.primary.get(end).expect("suppressing end is live").suppress_writes)
-            })
+            // Suppressing ends are live by construction (removal
+            // unindexes them); a degraded table contributes nothing
+            // rather than panicking while building a sync record.
+            .filter_map(|end| Some((*end, self.primary.get(end)?.suppress_writes)))
             .collect()
     }
 
@@ -481,11 +501,17 @@ impl RoutingTable {
         end: ChanEnd,
         make: impl FnOnce() -> BackupEntry,
     ) -> &mut BackupEntry {
-        if !self.backup.contains_key(&end) {
-            self.insert_backup(end, make());
+        match self.backup.entry(end) {
+            btree_map::Entry::Occupied(o) => o.into_mut(),
+            btree_map::Entry::Vacant(v) => {
+                let entry = make();
+                // Insert-side index bookkeeping, mirroring insert_backup
+                // for a fresh entry (the owner index is a disjoint field,
+                // writable while the vacant slot is held).
+                self.backup_by_owner.entry(entry.owner).or_default().insert(end);
+                v.insert(entry)
+            }
         }
-        // auros-lint: allow(D5) -- invariant: inserted above; insert_backup's index bookkeeping prevents returning its borrow directly
-        self.backup.get_mut(&end).expect("just ensured")
     }
 
     /// Removes the backup entry for `end`.

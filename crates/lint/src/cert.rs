@@ -1,0 +1,252 @@
+//! The machine-readable parallel-safety certificate.
+//!
+//! `auros-lint --format json` (and `--certificate PATH`) serializes the
+//! workspace analysis — the per-crate shared-symbol census from
+//! [`crate::graph`], every surviving violation, and every waiver with its
+//! recorded reason — as a single JSON document with schema
+//! `auros-parallel-safety/v1`. The future parallel-executor PR (ROADMAP
+//! item 2) consumes it as a precondition: `certified` is `true` exactly
+//! when zero unwaived diagnostics remain, i.e. when the sharing boundary
+//! the S-rules police is intact.
+//!
+//! The document is a pure function of the source tree: keys are emitted
+//! in sorted order, lists are pre-sorted, and nothing timestamp- or
+//! environment-dependent is included, so two runs over the same checkout
+//! produce byte-identical output (a property the self-tests pin).
+
+use std::fmt::Write as _;
+
+use crate::graph::SymbolGraph;
+use crate::rules::RULES;
+use crate::WorkspaceReport;
+
+/// Schema identifier stamped into every certificate.
+pub const SCHEMA: &str = "auros-parallel-safety/v1";
+
+/// Renders the certificate for a finished workspace report. The output
+/// ends with a newline so the committed file is POSIX-friendly.
+pub fn render(report: &WorkspaceReport) -> String {
+    let mut w = Json::new();
+    w.open_obj();
+    w.key("schema").str(SCHEMA);
+    w.key("certified").bool(report.diagnostics.is_empty());
+    w.key("files").num(report.files as u64);
+    w.key("det_files").num(report.det_files as u64);
+
+    w.key("protected_enums").open_arr();
+    for e in crate::graph::protected_enums() {
+        w.elem().str(e);
+    }
+    w.close_arr();
+
+    w.key("crates");
+    render_crates(&mut w, &report.graph);
+
+    w.key("rules").open_obj();
+    for rule in RULES {
+        let violations = report.diagnostics.iter().filter(|d| d.rule == rule.id).count();
+        let waived = report.waived.iter().filter(|x| x.rule == rule.id).count();
+        w.key(rule.id).open_obj();
+        w.key("violations").num(violations as u64);
+        w.key("waived").num(waived as u64);
+        w.close_obj();
+    }
+    w.close_obj();
+
+    w.key("violations").open_arr();
+    for d in &report.diagnostics {
+        w.elem().open_obj();
+        w.key("file").str(&d.file);
+        w.key("line").num(d.line as u64);
+        w.key("rule").str(d.rule);
+        w.key("message").str(&d.message);
+        w.close_obj();
+    }
+    w.close_arr();
+
+    w.key("waivers").open_arr();
+    for x in &report.waived {
+        w.elem().open_obj();
+        w.key("file").str(&x.file);
+        w.key("line").num(x.line as u64);
+        w.key("rule").str(x.rule);
+        w.key("reason").str(&x.reason);
+        w.close_obj();
+    }
+    w.close_arr();
+
+    w.close_obj();
+    w.finish()
+}
+
+fn render_crates(w: &mut Json, graph: &SymbolGraph) {
+    w.open_obj();
+    for (name, census) in &graph.crates {
+        w.key(name).open_obj();
+        for (field, list) in [
+            ("statics", &census.statics),
+            ("thread_locals", &census.thread_locals),
+            ("interior_mut_types", &census.interior_mut_types),
+            ("pub_exposures", &census.pub_exposures),
+        ] {
+            w.key(field).open_arr();
+            for s in list {
+                w.elem().open_obj();
+                w.key("name").str(&s.name);
+                w.key("file").str(&s.file);
+                w.key("line").num(s.line as u64);
+                w.key("note").str(&s.note);
+                w.close_obj();
+            }
+            w.close_arr();
+        }
+        w.key("arc_payloads").open_obj();
+        for (head, count) in &census.arc_payloads {
+            w.key(head).num(*count as u64);
+        }
+        w.close_obj();
+        w.close_obj();
+    }
+    w.close_obj();
+}
+
+/// A minimal pretty-printing JSON writer. No serde: the build environment
+/// is offline and the document is small; a 100-line emitter whose output
+/// order we fully control is simpler than a dependency.
+struct Json {
+    out: String,
+    indent: usize,
+    /// `true` when the next key/element needs a `,` separator first.
+    needs_comma: bool,
+}
+
+impl Json {
+    fn new() -> Json {
+        Json { out: String::new(), indent: 0, needs_comma: false }
+    }
+
+    fn newline(&mut self) {
+        if self.needs_comma {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.needs_comma = false;
+    }
+
+    fn key(&mut self, k: &str) -> &mut Json {
+        self.newline();
+        escape_into(&mut self.out, k);
+        self.out.push_str(": ");
+        self
+    }
+
+    /// Positions for the next array element (separator + indent only).
+    fn elem(&mut self) -> &mut Json {
+        self.newline();
+        self
+    }
+
+    fn str(&mut self, v: &str) {
+        escape_into(&mut self.out, v);
+        self.needs_comma = true;
+    }
+
+    fn num(&mut self, v: u64) {
+        let _ = write!(self.out, "{v}");
+        self.needs_comma = true;
+    }
+
+    fn bool(&mut self, v: bool) {
+        let _ = write!(self.out, "{v}");
+        self.needs_comma = true;
+    }
+
+    fn open_obj(&mut self) -> &mut Json {
+        self.out.push('{');
+        self.indent += 1;
+        self.needs_comma = false;
+        self
+    }
+
+    fn close_obj(&mut self) {
+        self.indent -= 1;
+        self.needs_comma = false;
+        self.newline();
+        self.out.push('}');
+        self.needs_comma = true;
+    }
+
+    fn open_arr(&mut self) -> &mut Json {
+        self.out.push('[');
+        self.indent += 1;
+        self.needs_comma = false;
+        self
+    }
+
+    fn close_arr(&mut self) {
+        self.indent -= 1;
+        self.needs_comma = false;
+        self.newline();
+        self.out.push(']');
+        self.needs_comma = true;
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes included).
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}e");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001e\"");
+    }
+
+    #[test]
+    fn empty_report_renders_valid_skeleton() {
+        let report = WorkspaceReport::default();
+        let doc = render(&report);
+        assert!(doc.starts_with('{'));
+        assert!(doc.ends_with("}\n"));
+        assert!(doc.contains("\"schema\": \"auros-parallel-safety/v1\""));
+        assert!(doc.contains("\"certified\": true"));
+        // Every rule gets a counts entry even when silent.
+        for rule in RULES {
+            assert!(doc.contains(&format!("\"{}\": {{", rule.id)), "{}", rule.id);
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let report = WorkspaceReport::default();
+        assert_eq!(render(&report), render(&report));
+    }
+}

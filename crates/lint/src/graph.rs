@@ -1,0 +1,536 @@
+//! The symbol graph behind the parallel-safety rules (S1–S4).
+//!
+//! ROADMAP item 2 (deterministic parallel execution) rests on one claim:
+//! clusters interact *only* through the bus (§5.1), so worker threads
+//! owning disjoint cluster sets cannot race. This module turns that claim
+//! from folklore into a checked artifact. From the per-file item lists
+//! produced by [`crate::parse`] it builds a workspace-wide symbol graph:
+//! which named types transitively hold interior mutability (the *taint*
+//! fixpoint), which statics and thread-locals exist per crate, what
+//! payload shape every `Arc<..>` carries, and which `pub` items expose a
+//! tainted type across a crate boundary. The S-rules in
+//! [`crate::rules::RULES`] read their hits off this graph, and the
+//! `parallel_safety.json` certificate (see [`crate::cert`]) serializes
+//! the census so the future parallel executor can consume it as a
+//! machine-checked precondition.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, Token};
+use crate::parse::{ArcApp, Item, ItemKind, TypeExpr, Vis, WildcardMatch};
+
+/// Interior-mutability primitives: a value of (or containing) one of
+/// these can be mutated through a shared reference, which is exactly the
+/// channel that would let two clusters interact off the bus. Any
+/// `Atomic*`-prefixed name counts too.
+pub const INTERIOR_MUT: &[&str] = &[
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "LazyCell",
+    "OnceLock",
+    "LazyLock",
+    "Lazy",
+    "Mutex",
+    "RwLock",
+];
+
+/// Enums whose matches must stay exhaustive (rule S4): a wildcard arm
+/// would let a new fault or trace variant silently fall through the very
+/// machinery that exists to account for every case.
+pub const PROTECTED_ENUMS: &[&str] = &["TraceKind", "FaultEvent", "PlanKind"];
+
+/// `true` if `name` is an interior-mutability primitive.
+pub fn is_interior_mut(name: &str) -> bool {
+    INTERIOR_MUT.contains(&name) || name.starts_with("Atomic")
+}
+
+/// One file's contribution to the symbol graph.
+#[derive(Debug, Default)]
+pub struct FileSymbols {
+    /// Path label used in diagnostics.
+    pub file: String,
+    /// Owning crate name (`kernel` for `crates/kernel/src/..`), or the
+    /// file label itself for ad-hoc single-file runs.
+    pub krate: String,
+    /// Parsed items, already filtered to non-`#[cfg(test)]` lines.
+    pub items: Vec<Item>,
+    /// Wildcard matches over protected enums (rule S4 candidates).
+    pub matches: Vec<WildcardMatch>,
+    /// Expression-level `Arc::new(Head::new(..))` constructions — type
+    /// positions inside function bodies are not parsed as items, so the
+    /// common construction site is caught at the expression level.
+    pub arc_exprs: Vec<ArcApp>,
+}
+
+/// A symbol's location, for the census and diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SymbolRef {
+    /// Path label of the defining file.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// The symbol name (fields as `Type.field`).
+    pub name: String,
+    /// Short note: the interior-mut root, mutability, or payload head.
+    pub note: String,
+}
+
+/// Per-crate shared-symbol census, serialized into the certificate.
+#[derive(Debug, Default)]
+pub struct CrateCensus {
+    /// Every `static` item (global or function-local).
+    pub statics: Vec<SymbolRef>,
+    /// Every `thread_local!` static.
+    pub thread_locals: Vec<SymbolRef>,
+    /// Names of types defined in this crate that transitively hold
+    /// interior mutability, with the primitive that roots the taint.
+    pub interior_mut_types: Vec<SymbolRef>,
+    /// Plain-`pub` items whose type mentions a tainted name (S2
+    /// candidates, whether violating or waived).
+    pub pub_exposures: Vec<SymbolRef>,
+    /// `Arc` payload heads seen in this crate's types and expressions,
+    /// with occurrence counts.
+    pub arc_payloads: BTreeMap<String, u32>,
+}
+
+/// The workspace symbol graph: taint closure plus per-crate census.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// Tainted type names → the interior-mut primitive rooting the taint.
+    pub tainted: BTreeMap<String, String>,
+    /// Census per crate, keyed by crate name.
+    pub crates: BTreeMap<String, CrateCensus>,
+}
+
+impl SymbolGraph {
+    /// The interior-mut root of `name`, if the type is tainted.
+    pub fn taint_root<'a>(&'a self, name: &'a str) -> Option<&'a str> {
+        if is_interior_mut(name) {
+            Some(name)
+        } else {
+            self.tainted.get(name).map(String::as_str)
+        }
+    }
+
+    /// The first tainted identifier a type expression mentions, with its
+    /// interior-mut root: `Some((ident, root))`.
+    pub fn type_taint<'g>(&'g self, ty: &'g TypeExpr) -> Option<(&'g str, &'g str)> {
+        ty.idents.iter().find_map(|id| self.taint_root(id).map(|root| (id.as_str(), root)))
+    }
+}
+
+/// Builds the symbol graph over every deterministic file's symbols: runs
+/// the taint fixpoint, then fills the per-crate census.
+pub fn build<'a>(files: impl IntoIterator<Item = &'a FileSymbols>) -> SymbolGraph {
+    let files: Vec<&FileSymbols> = files.into_iter().collect();
+    let mut graph = SymbolGraph::default();
+
+    // Taint fixpoint: a named type is tainted if any type expression in
+    // its definition mentions an interior-mut primitive or a name already
+    // tainted. Names are matched bare (last path segment) across the
+    // whole deterministic set — conservative, and exactly right for a
+    // boundary check: a false share is a waiver away, a missed share is
+    // a race.
+    loop {
+        let mut changed = false;
+        for fs in &files {
+            for item in &fs.items {
+                if graph.tainted.contains_key(&item.name) {
+                    continue;
+                }
+                let root = match &item.kind {
+                    ItemKind::Struct { fields } | ItemKind::Enum { fields } => {
+                        fields.iter().find_map(|f| graph.type_taint(&f.ty).map(|(_, r)| r))
+                    }
+                    ItemKind::TypeAlias { ty } => graph.type_taint(ty).map(|(_, r)| r),
+                    _ => None,
+                };
+                if let Some(root) = root {
+                    let root = root.to_string();
+                    graph.tainted.insert(item.name.clone(), root);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // The census is filled into a local map so taint lookups on `graph`
+    // stay borrowable while a crate's census is mutably held.
+    let mut crates: BTreeMap<String, CrateCensus> = BTreeMap::new();
+    for fs in &files {
+        let census = crates.entry(fs.krate.clone()).or_default();
+        for item in &fs.items {
+            let sym = |name: &str, line: u32, note: String| SymbolRef {
+                file: fs.file.clone(),
+                line,
+                name: name.to_string(),
+                note,
+            };
+            match &item.kind {
+                ItemKind::Static { mutable, ty } => {
+                    let note = match (mutable, graph.type_taint(ty)) {
+                        (true, _) => "mut".to_string(),
+                        (false, Some((_, root))) => format!("interior-mut via {root}"),
+                        (false, None) => "frozen".to_string(),
+                    };
+                    census.statics.push(sym(&item.name, item.line, note));
+                }
+                ItemKind::ThreadLocal { ty } => {
+                    let note = match graph.type_taint(ty) {
+                        Some((_, root)) => format!("interior-mut via {root}"),
+                        None => "frozen".to_string(),
+                    };
+                    census.thread_locals.push(sym(&item.name, item.line, note));
+                }
+                ItemKind::Struct { .. } | ItemKind::Enum { .. } | ItemKind::TypeAlias { .. } => {
+                    if let Some(root) = graph.tainted.get(&item.name) {
+                        census.interior_mut_types.push(sym(
+                            &item.name,
+                            item.line,
+                            format!("via {root}"),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            for (name, _line, ty) in exposures(item) {
+                if let Some((id, root)) = graph.type_taint(ty) {
+                    census.pub_exposures.push(sym(&name, item.line, format!("{id} via {root}")));
+                }
+            }
+            for ty in item_types(item) {
+                for arc in &ty.arcs {
+                    *census.arc_payloads.entry(arc.head.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        for arc in &fs.arc_exprs {
+            *census.arc_payloads.entry(arc.head.clone()).or_insert(0) += 1;
+        }
+        // Dedup and order the census lists deterministically.
+        for list in [
+            &mut census.statics,
+            &mut census.thread_locals,
+            &mut census.interior_mut_types,
+            &mut census.pub_exposures,
+        ] {
+            list.sort();
+            list.dedup();
+        }
+    }
+    graph.crates = crates;
+
+    graph
+}
+
+/// Every type expression an item declares (fields, alias target, static
+/// type, return type) — the positions S3 scans for `Arc` payloads.
+fn item_types(item: &Item) -> Vec<&TypeExpr> {
+    match &item.kind {
+        ItemKind::Static { ty, .. }
+        | ItemKind::ThreadLocal { ty }
+        | ItemKind::Const { ty }
+        | ItemKind::TypeAlias { ty } => vec![ty],
+        ItemKind::Struct { fields } | ItemKind::Enum { fields } => {
+            fields.iter().map(|f| &f.ty).collect()
+        }
+        ItemKind::Fn { ret } => ret.iter().collect(),
+    }
+}
+
+/// The `(name, line, type)` positions of an item that plain-`pub`
+/// visibility pushes across the crate boundary (rule S2): pub fields of a
+/// pub struct, all variant fields of a pub enum, a pub alias's target, a
+/// pub fn's return type. Statics are S1's business and consts copy per
+/// use, so neither appears here.
+fn exposures(item: &Item) -> Vec<(String, u32, &TypeExpr)> {
+    if item.vis != Vis::Pub || item.in_fn {
+        return Vec::new();
+    }
+    match &item.kind {
+        ItemKind::Struct { fields } => fields
+            .iter()
+            .filter(|f| f.vis == Vis::Pub)
+            .map(|f| (format!("{}.{}", item.name, f.name), f.line, &f.ty))
+            .collect(),
+        ItemKind::Enum { fields } => {
+            fields.iter().map(|f| (format!("{}::{}", item.name, f.name), f.line, &f.ty)).collect()
+        }
+        ItemKind::TypeAlias { ty } => vec![(item.name.clone(), item.line, ty)],
+        ItemKind::Fn { ret: Some(ty) } => vec![(item.name.clone(), item.line, ty)],
+        _ => Vec::new(),
+    }
+}
+
+/// Scans a token stream for `Arc::new(Head::..)` constructions, the
+/// expression-level complement of the type-position `Arc<..>` scan.
+pub fn arc_new_exprs(tokens: &[Token]) -> Vec<ArcApp> {
+    let mut found = Vec::new();
+    let ident = |i: usize| match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize, c: char| tokens.get(i).is_some_and(|t| t.tok == Tok::Punct(c));
+    for i in 0..tokens.len() {
+        if ident(i) != Some("Arc") || !punct(i + 1, ':') || !punct(i + 2, ':') {
+            continue;
+        }
+        // Allow a turbofish between `Arc::` and `new`.
+        let mut j = i + 3;
+        if punct(j, '<') {
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if punct(j, '<') {
+                    depth += 1;
+                } else if punct(j, '>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if !punct(j, ':') || !punct(j + 1, ':') {
+                continue;
+            }
+            j += 2;
+        }
+        if ident(j) != Some("new") || !punct(j + 1, '(') {
+            continue;
+        }
+        // The argument's head: `Arc::new(Mutex::new(0))` → `Mutex`.
+        if let Some(head) = ident(j + 2) {
+            if punct(j + 3, ':') && punct(j + 4, ':') {
+                found.push(ArcApp { line: tokens[i].line, head: head.to_string() });
+            }
+        }
+    }
+    found
+}
+
+/// Generates the S-rule hits for one file against the workspace graph.
+/// Only called for deterministic-class files.
+pub fn s_hits(fs: &FileSymbols, graph: &SymbolGraph) -> Vec<(u32, &'static str, String)> {
+    let mut hits = Vec::new();
+
+    for item in &fs.items {
+        // S1: mutable global state.
+        match &item.kind {
+            ItemKind::Static { mutable: true, .. } => {
+                hits.push((
+                    item.line,
+                    "S1",
+                    format!(
+                        "`static mut {}` is writable global state; clusters may only interact through the bus",
+                        item.name
+                    ),
+                ));
+            }
+            ItemKind::Static { mutable: false, ty } => {
+                if let Some((id, root)) = graph.type_taint(ty) {
+                    hits.push((
+                        item.line,
+                        "S1",
+                        format!(
+                            "static `{}` holds interior mutability (`{id}` via `{root}`); writable global state escapes the bus-only sharing boundary",
+                            item.name
+                        ),
+                    ));
+                }
+            }
+            ItemKind::ThreadLocal { .. } => {
+                hits.push((
+                    item.line,
+                    "S1",
+                    format!(
+                        "thread-local static `{}` pins state to an OS thread; cluster state must live in the World so any worker can own it",
+                        item.name
+                    ),
+                ));
+            }
+            _ => {}
+        }
+
+        // S2: interior mutability exposed through a plain-`pub` item.
+        for (name, line, ty) in exposures(item) {
+            if let Some((id, root)) = graph.type_taint(ty) {
+                hits.push((
+                    line,
+                    "S2",
+                    format!(
+                        "pub {} `{name}` exposes interior mutability (`{id}` via `{root}`) across the crate boundary",
+                        item.kind.name()
+                    ),
+                ));
+            }
+        }
+
+        // S3: Arc of a non-Freeze payload in type positions.
+        for ty in item_types(item) {
+            for arc in &ty.arcs {
+                if let Some(root) = graph.taint_root(&arc.head) {
+                    hits.push((
+                        arc.line,
+                        "S3",
+                        format!(
+                            "`Arc<{}>` shares a mutable payload (`{root}`); Arc payloads must be frozen (`Arc<[u8]>`-style)",
+                            arc.head
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // S3, expression form.
+    for arc in &fs.arc_exprs {
+        if let Some(root) = graph.taint_root(&arc.head) {
+            hits.push((
+                arc.line,
+                "S3",
+                format!(
+                    "`Arc::new({}::..)` shares a mutable payload (`{root}`); Arc payloads must be frozen (`Arc<[u8]>`-style)",
+                    arc.head
+                ),
+            ));
+        }
+    }
+
+    // S4: wildcard arms over protected enums.
+    for m in &fs.matches {
+        hits.push((
+            m.wildcard_line,
+            "S4",
+            format!(
+                "`_` arm in a match over `{}` (match at line {}); enumerate the variants so new ones cannot silently fall through",
+                m.enum_name, m.line
+            ),
+        ));
+    }
+
+    // One construct can hit one rule only once per line.
+    hits.sort();
+    hits.dedup();
+    hits
+}
+
+/// Derives the owning crate name from a workspace-relative label:
+/// `crates/kernel/src/world.rs` → `kernel`. Ad-hoc labels (single-file
+/// CLI runs, fixtures) fall back to the label itself so census grouping
+/// stays deterministic without inventing a crate.
+pub fn crate_of(label: &str) -> String {
+    let mut parts = label.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            if parts.next() == Some("src") {
+                return name.to_string();
+            }
+        }
+    }
+    format!("({label})")
+}
+
+/// All protected-enum names referenced by any file's S4 scan — exposed so
+/// the certificate can record what the rule protects.
+pub fn protected_enums() -> &'static [&'static str] {
+    PROTECTED_ENUMS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn symbols(file: &str, src: &str) -> FileSymbols {
+        let toks = lex(src).tokens;
+        FileSymbols {
+            file: file.to_string(),
+            krate: crate_of(file),
+            items: parse(&toks),
+            matches: crate::parse::wildcard_protected_matches(&toks, PROTECTED_ENUMS),
+            arc_exprs: arc_new_exprs(&toks),
+        }
+    }
+
+    #[test]
+    fn taint_propagates_across_files() {
+        let a = symbols("crates/bus/src/a.rs", "pub struct Inner { c: Cell<u64> }\n");
+        let b = symbols(
+            "crates/kernel/src/b.rs",
+            "pub struct Outer { pub i: Inner }\npub type T = Outer;\n",
+        );
+        let g = build(&[a, b]);
+        assert_eq!(g.tainted.get("Inner").map(String::as_str), Some("Cell"));
+        assert_eq!(g.tainted.get("Outer").map(String::as_str), Some("Cell"));
+        assert_eq!(g.tainted.get("T").map(String::as_str), Some("Cell"));
+    }
+
+    #[test]
+    fn census_counts_statics_and_arcs() {
+        let fs = symbols(
+            "crates/bus/src/bytes.rs",
+            "static COUNT: AtomicU64 = AtomicU64::new(0);\n\
+             pub struct B { buf: Arc<[u8]> }\n\
+             fn f() { let x = Arc::new(Mutex::new(0)); }\n",
+        );
+        let g = build(&[fs]);
+        let c = g.crates.get("bus").expect("bus census");
+        assert_eq!(c.statics.len(), 1);
+        assert!(c.statics[0].note.contains("AtomicU64"));
+        assert_eq!(c.arc_payloads.get("[..]"), Some(&1));
+        assert_eq!(c.arc_payloads.get("Mutex"), Some(&1));
+    }
+
+    #[test]
+    fn arc_new_expression_scan() {
+        let toks = lex("let a = Arc::new(Mutex::new(0)); let b = Arc::<[u8]>::new(x); let c = Arc::new(bytes);").tokens;
+        let arcs = arc_new_exprs(&toks);
+        assert_eq!(arcs.len(), 1, "{arcs:?}");
+        assert_eq!(arcs[0].head, "Mutex");
+    }
+
+    #[test]
+    fn s_hits_cover_all_four_rules() {
+        let fs = symbols(
+            "crates/kernel/src/x.rs",
+            "static mut GLOBAL: u64 = 0;\n\
+             thread_local! { static TL: u64 = 0; }\n\
+             pub struct P { pub c: RefCell<u64> }\n\
+             struct D { q: Arc<AtomicU64> }\n\
+             fn f(k: TraceKind) -> u32 { match k { TraceKind::A => 1, _ => 0 } }\n",
+        );
+        let g = build(std::slice::from_ref(&fs));
+        let hits = s_hits(&fs, &g);
+        let rules: Vec<&str> = hits.iter().map(|h| h.1).collect();
+        assert!(rules.contains(&"S1"), "{hits:?}");
+        assert!(rules.contains(&"S2"), "{hits:?}");
+        assert!(rules.contains(&"S3"), "{hits:?}");
+        assert!(rules.contains(&"S4"), "{hits:?}");
+    }
+
+    #[test]
+    fn frozen_arcs_and_private_cells_are_legal() {
+        let fs = symbols(
+            "crates/bus/src/y.rs",
+            "pub struct SharedBytes { buf: Arc<[u8]> }\n\
+             pub struct Img { img: Arc<dyn ProcessImage> }\n\
+             struct Hidden { c: Cell<u64> }\n\
+             pub fn len(b: &SharedBytes) -> usize { b.buf.len() }\n",
+        );
+        let g = build(std::slice::from_ref(&fs));
+        let hits = s_hits(&fs, &g);
+        // `Hidden` is tainted but private and unexposed; SharedBytes's
+        // Arc payload is frozen. Nothing fires. But a pub fn *returning*
+        // SharedBytes stays legal too: the struct is not tainted.
+        assert!(hits.is_empty(), "{hits:?}");
+        assert_eq!(g.tainted.get("Hidden").map(String::as_str), Some("Cell"));
+        assert!(!g.tainted.contains_key("SharedBytes"));
+    }
+}

@@ -23,13 +23,19 @@
 //! Run `cargo run -p auros-lint -- --explain D1` (or any rule id) for the
 //! invariant's full rationale and paper citation.
 
+pub mod cert;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod walk;
 
 use std::path::Path;
 
-pub use rules::{lint_source, CrateClass, Diagnostic, FileReport, RuleInfo, WaivedSite, RULES};
+pub use rules::{
+    analyze_source, lint_source, CrateClass, Diagnostic, FileAnalysis, FileReport, RuleInfo,
+    WaivedSite, RULES,
+};
 
 /// Aggregate result of linting a whole workspace.
 #[derive(Debug, Default)]
@@ -42,25 +48,39 @@ pub struct WorkspaceReport {
     pub diagnostics: Vec<Diagnostic>,
     /// All waived violations with their reasons.
     pub waived: Vec<WaivedSite>,
+    /// The workspace symbol graph: taint closure and per-crate census,
+    /// serialized into the parallel-safety certificate.
+    pub graph: graph::SymbolGraph,
+}
+
+/// Folds per-file analyses into a [`WorkspaceReport`]: runs the
+/// cross-file phase ([`rules::finish`]) and aggregates the results.
+pub fn finish_workspace(analyses: Vec<FileAnalysis>) -> WorkspaceReport {
+    let mut report = WorkspaceReport {
+        files: analyses.len(),
+        det_files: analyses.iter().filter(|a| a.class == CrateClass::Deterministic).count(),
+        ..WorkspaceReport::default()
+    };
+    let (file_reports, graph) = rules::finish(analyses);
+    for fr in file_reports {
+        report.diagnostics.extend(fr.diagnostics);
+        report.waived.extend(fr.waived);
+    }
+    report.graph = graph;
+    report.diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.waived.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
 }
 
 /// Lints every `.rs` file under `root` (a workspace checkout).
 pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
-    let mut report = WorkspaceReport::default();
+    let mut analyses = Vec::new();
     for path in walk::collect_rs_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path);
         let class = walk::classify(rel);
         let src = std::fs::read_to_string(&path)?;
         let label = rel.to_string_lossy().replace('\\', "/");
-        let file_report = lint_source(&label, class, &src);
-        report.files += 1;
-        if class == CrateClass::Deterministic {
-            report.det_files += 1;
-        }
-        report.diagnostics.extend(file_report.diagnostics);
-        report.waived.extend(file_report.waived);
+        analyses.push(analyze_source(&label, class, &src));
     }
-    report.diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    report.waived.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    Ok(finish_workspace(analyses))
 }

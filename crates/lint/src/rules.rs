@@ -6,7 +6,9 @@
 //! code (benchmarks, tests, examples, vendored stubs, this tool) may use
 //! wall clocks, floats, and hash maps freely.
 
+use crate::graph::{self, FileSymbols};
 use crate::lexer::{self, Tok, Token, Waiver};
+use crate::parse;
 
 /// How a file participates in the simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,6 +152,64 @@ structure, and a free-text event is invisible to every one of them. An\n\
 add a `TraceKind` variant instead. See DESIGN.md §5.8.",
     },
     RuleInfo {
+        id: "S1",
+        title: "no mutable global state in sim crates",
+        explain: "S1 — no mutable global state (`static mut`, statics holding\n\
+interior mutability, `thread_local!`) in sim-deterministic crates.\n\
+\n\
+ROADMAP item 2 (deterministic parallel execution) rests on §5.1's\n\
+architecture: clusters interact *only* through the bus, so worker\n\
+threads owning disjoint cluster sets cannot race. A writable global —\n\
+a `static mut`, a `static` whose type reaches a `Cell`/`Mutex`/\n\
+`Atomic*`, or a `thread_local!` pinning state to an OS thread — is a\n\
+side channel around the bus: two clusters could observe each other\n\
+without a message, and `par_equals_seq` would silently break. All\n\
+mutable state must live in the `World`, owned by exactly one cluster.",
+    },
+    RuleInfo {
+        id: "S2",
+        title: "no interior mutability across a pub crate boundary",
+        explain: "S2 — interior mutability must not be reachable through a plain-`pub`\n\
+item crossing a sim-crate boundary.\n\
+\n\
+The sharing boundary §5.1 draws (clusters talk through the bus, and\n\
+through nothing else) is only checkable if the crates' public surfaces\n\
+stay Freeze: a `pub` field, `pub` type alias, enum variant payload, or\n\
+`pub fn` return type that reaches a `Cell`/`RefCell`/`Mutex`/`Atomic*`\n\
+hands every downstream crate a mutation channel that bypasses message\n\
+delivery. Keep interior mutability private to its defining module (or\n\
+`pub(crate)`), and expose values, not cells.",
+    },
+    RuleInfo {
+        id: "S3",
+        title: "no Arc of a non-Freeze payload",
+        explain: "S3 — no `Arc` of a non-Freeze payload (`Arc<Mutex<_>>`,\n\
+`Arc<Atomic*>`, or any type transitively holding interior mutability)\n\
+in sim-deterministic crates.\n\
+\n\
+The zero-copy fabric shares one buffer per message precisely because\n\
+`Arc<[u8]>` payloads are immutable: §5.1's all-or-none delivery puts\n\
+the same bytes in every destination queue, and nobody can write to\n\
+them afterwards. An `Arc` of a mutable payload inverts that — it is\n\
+shared *and* writable, the exact shape of cross-cluster state that\n\
+would race under ROADMAP item 2's parallel executor. `SharedBytes`-\n\
+style `Arc<[u8]>`, `Arc<str>`, and Arcs of Freeze structs stay legal.",
+    },
+    RuleInfo {
+        id: "S4",
+        title: "no wildcard arms over protected enums",
+        explain: "S4 — no top-level `_ =>` arm in a `match` over `TraceKind`,\n\
+`FaultEvent`, or `PlanKind`.\n\
+\n\
+Fault handling (§7.10) and the flight-recorder differ work by case\n\
+analysis over these enums; their value is that adding a variant forces\n\
+every consumer to decide what it means. A wildcard arm turns that\n\
+compile-time obligation into a silent fall-through: a new fault kind\n\
+that nobody handles, a new trace kind the differ cannot see. Matches\n\
+over the protected enums must enumerate variants (grouping with `|`\n\
+is fine); a genuinely-uniform default needs a waiver saying why.",
+    },
+    RuleInfo {
         id: "W0",
         title: "malformed waiver comment",
         explain: "W0 — a comment contains the `auros-lint:` marker but does not parse\n\
@@ -188,36 +248,101 @@ const D2_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
 const D3_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "mpsc"];
 const D4_IDENTS: &[&str] = &["f32", "f64"];
 
+/// Phase-one output for one file: everything later cross-file analysis
+/// needs, with no diagnostics finalized yet. Token-level (D-rule) hits
+/// are already collected — they are per-file facts — while the S-rules
+/// wait for [`finish`], because taint propagates across files.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Path label used in diagnostics.
+    pub label: String,
+    /// The file's crate class.
+    pub class: CrateClass,
+    tokens: Vec<Token>,
+    waivers: Vec<Waiver>,
+    malformed: Vec<(u32, String)>,
+    d_hits: Vec<(u32, &'static str, String)>,
+    symbols: FileSymbols,
+}
+
+/// Phase one: lexes, parses, and collects the per-file facts. Items,
+/// matches, and Arc expressions on `#[cfg(test)]` lines are dropped here,
+/// so the symbol graph never sees test-only code.
+pub fn analyze_source(file: &str, class: CrateClass, src: &str) -> FileAnalysis {
+    let lexed = lexer::lex(src);
+    let mut d_hits: Vec<(u32, &'static str, String)> = Vec::new();
+    let mut symbols =
+        FileSymbols { file: file.to_string(), krate: graph::crate_of(file), ..Default::default() };
+    if class == CrateClass::Deterministic {
+        let spans = lexer::cfg_test_spans(&lexed.tokens);
+        let in_test = |line: u32| spans.iter().any(|(a, b)| (*a..=*b).contains(&line));
+        collect_hits(file, &lexed.tokens, &in_test, &mut d_hits);
+        d_hits.sort();
+        symbols.items =
+            parse::parse(&lexed.tokens).into_iter().filter(|i| !in_test(i.line)).collect();
+        symbols.matches = parse::wildcard_protected_matches(&lexed.tokens, graph::PROTECTED_ENUMS)
+            .into_iter()
+            .filter(|m| !in_test(m.line))
+            .collect();
+        symbols.arc_exprs =
+            graph::arc_new_exprs(&lexed.tokens).into_iter().filter(|a| !in_test(a.line)).collect();
+    }
+    FileAnalysis {
+        label: file.to_string(),
+        class,
+        tokens: lexed.tokens,
+        waivers: lexed.waivers,
+        malformed: lexed.malformed,
+        d_hits,
+        symbols,
+    }
+}
+
+/// Phase two: builds the workspace symbol graph over every deterministic
+/// file, generates the S-rule hits against it, applies waivers, and
+/// produces one [`FileReport`] per input (same order), plus the graph for
+/// the certificate.
+pub fn finish(analyses: Vec<FileAnalysis>) -> (Vec<FileReport>, graph::SymbolGraph) {
+    let g = graph::build(
+        analyses.iter().filter(|a| a.class == CrateClass::Deterministic).map(|a| &a.symbols),
+    );
+    let mut reports = Vec::new();
+    for a in &analyses {
+        let mut report = FileReport::default();
+
+        // Malformed waivers are reported in every class: a marker that
+        // does not parse is a documentation bug wherever it sits.
+        for (line, why) in &a.malformed {
+            report.diagnostics.push(Diagnostic {
+                file: a.label.clone(),
+                line: *line,
+                rule: "W0",
+                message: why.clone(),
+            });
+        }
+
+        let mut hits = a.d_hits.clone();
+        if a.class == CrateClass::Deterministic {
+            hits.extend(graph::s_hits(&a.symbols, &g));
+        }
+        hits.sort();
+
+        apply_waivers(&a.label, a.class, &a.tokens, &a.waivers, hits, &mut report);
+        report.diagnostics.sort_by(|x, y| (x.line, x.rule).cmp(&(y.line, y.rule)));
+        reports.push(report);
+    }
+    (reports, g)
+}
+
 /// Lints one file's source text.
 ///
 /// `file` is the path used in diagnostics; its basename also decides
 /// whether the D5 fault-path rule applies. `class` selects the rule set.
+/// Single-file convenience over [`analyze_source`] + [`finish`]: taint
+/// propagation sees only this file.
 pub fn lint_source(file: &str, class: CrateClass, src: &str) -> FileReport {
-    let lexed = lexer::lex(src);
-    let mut report = FileReport::default();
-
-    // Malformed waivers are reported in every class: a marker that does
-    // not parse is a documentation bug wherever it sits.
-    for (line, why) in &lexed.malformed {
-        report.diagnostics.push(Diagnostic {
-            file: file.to_string(),
-            line: *line,
-            rule: "W0",
-            message: why.clone(),
-        });
-    }
-
-    let mut hits: Vec<(u32, &'static str, String)> = Vec::new();
-    if class == CrateClass::Deterministic {
-        let spans = lexer::cfg_test_spans(&lexed.tokens);
-        let in_test = |line: u32| spans.iter().any(|(a, b)| (*a..=*b).contains(&line));
-        collect_hits(file, &lexed.tokens, &in_test, &mut hits);
-    }
-    hits.sort();
-
-    apply_waivers(file, class, &lexed.tokens, &lexed.waivers, hits, &mut report);
-    report.diagnostics.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    report
+    let (mut reports, _) = finish(vec![analyze_source(file, class, src)]);
+    reports.pop().unwrap_or_default()
 }
 
 fn collect_hits(

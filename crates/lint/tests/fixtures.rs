@@ -96,6 +96,34 @@ fn d6_untyped_trace_emission() {
 }
 
 #[test]
+fn s1_mutable_global_state() {
+    assert_violates("s1/violation.rs", "S1", 4);
+    assert_clean("s1/clean.rs");
+    assert_waived("s1/waived.rs", "S1", 1);
+}
+
+#[test]
+fn s2_interior_mutability_across_pub_boundary() {
+    assert_violates("s2/violation.rs", "S2", 4);
+    assert_clean("s2/clean.rs");
+    assert_waived("s2/waived.rs", "S2", 1);
+}
+
+#[test]
+fn s3_arc_of_non_freeze_payload() {
+    assert_violates("s3/violation.rs", "S3", 4);
+    assert_clean("s3/clean.rs");
+    assert_waived("s3/waived.rs", "S3", 1);
+}
+
+#[test]
+fn s4_wildcard_over_protected_enum() {
+    assert_violates("s4/violation.rs", "S4", 2);
+    assert_clean("s4/clean.rs");
+    assert_waived("s4/waived.rs", "S4", 1);
+}
+
+#[test]
 fn w0_malformed_waivers() {
     let r = lint_fixture("waiver/malformed.rs", CrateClass::Deterministic);
     let w0 = r.diagnostics.iter().filter(|d| d.rule == "W0").count();
@@ -122,6 +150,10 @@ fn host_class_ignores_every_violation_fixture() {
         "d4/violation.rs",
         "d5/violation/crash.rs",
         "d6/violation.rs",
+        "s1/violation.rs",
+        "s2/violation.rs",
+        "s3/violation.rs",
+        "s4/violation.rs",
     ] {
         let r = lint_fixture(rel, CrateClass::Host);
         assert!(r.diagnostics.is_empty(), "{rel} under host class: {:?}", r.diagnostics);
@@ -132,7 +164,7 @@ fn host_class_ignores_every_violation_fixture() {
 fn every_rule_has_an_explanation_with_citation() {
     for rule in auros_lint::RULES {
         assert!(!rule.explain.trim().is_empty(), "{} lacks an explanation", rule.id);
-        if rule.id.starts_with('D') {
+        if rule.id.starts_with('D') || rule.id.starts_with('S') {
             assert!(rule.explain.contains('§'), "{} must cite a paper section", rule.id);
         }
     }

@@ -1,0 +1,18 @@
+//! S1 clean fixture: immutable Freeze globals and ordinary owned
+//! state are fine — only *mutable* process-global state is banned.
+
+static LIMIT: u64 = 64;
+
+const WINDOW: u64 = 400_000;
+
+static BANNER: &str = "auros";
+
+pub struct Counter {
+    ticks: u64,
+}
+
+impl Counter {
+    pub fn bump(&mut self) {
+        self.ticks += 1;
+    }
+}

@@ -1,0 +1,17 @@
+//! S1 fixture: mutable global state in a deterministic crate.
+//! Four distinct shapes, all violations: `static mut`, an
+//! interior-mutability static, a thread-local, and a function-local
+//! static (function bodies are not an escape hatch).
+
+static mut TICKS: u64 = 0;
+
+static SLOT: OnceLock<u64> = OnceLock::new();
+
+thread_local! {
+    static SCRATCH: Vec<u64> = Vec::new();
+}
+
+fn bump() {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}

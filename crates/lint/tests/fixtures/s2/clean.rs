@@ -1,0 +1,21 @@
+//! S2 clean fixture: interior mutability is allowed as long as it
+//! never crosses the crate boundary — private fields and
+//! `pub(crate)` items stay invisible to other sim crates.
+
+pub struct Stats {
+    pending: Cell<u64>,
+}
+
+impl Stats {
+    pub fn pending(&self) -> u64 {
+        self.pending.get()
+    }
+}
+
+pub(crate) struct CrateLocal {
+    pub slot: RefCell<u64>,
+}
+
+pub fn total(s: &Stats) -> u64 {
+    s.pending()
+}

@@ -1,0 +1,18 @@
+//! S2 fixture: interior mutability reachable through `pub` items.
+//! Four exposure paths, all violations: a pub field, a pub type
+//! alias, an enum variant payload, and a pub fn return type.
+
+pub struct Shared {
+    pub cell: RefCell<u64>,
+}
+
+pub type SharedCell = Cell<u32>;
+
+pub enum Slot {
+    Ready(RefCell<u64>),
+    Empty,
+}
+
+pub fn peek(s: &Shared) -> &RefCell<u64> {
+    &s.cell
+}

@@ -1,0 +1,7 @@
+//! S2 waived fixture: a deliberate perf-counter escape hatch,
+//! exported with a recorded reason.
+
+pub struct Probe {
+    // auros-lint: allow(S2) -- perf-counter escape hatch: the bench harness reads it, sim code never does
+    pub hits: Cell<u64>,
+}

@@ -1,0 +1,15 @@
+//! S3 clean fixture: `Arc` of Freeze payloads is the blessed idiom —
+//! shared immutable bytes, trait objects, and owned program text.
+
+pub struct SharedBytes {
+    buf: Arc<[u8]>,
+}
+
+struct Image {
+    image: Arc<ProcessImage>,
+    program: Arc<Vec<Inst>>,
+}
+
+fn intern(data: &[u8]) -> Arc<[u8]> {
+    Arc::from(data)
+}

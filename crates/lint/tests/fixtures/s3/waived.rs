@@ -1,0 +1,7 @@
+//! S3 waived fixture: a host-bridge handle that never enters a
+//! message, waived with a recorded reason.
+
+struct Bridge {
+    // auros-lint: allow(S3) -- host-side bridge handle: never enters a message or crosses a cluster
+    flag: Arc<AtomicU64>,
+}

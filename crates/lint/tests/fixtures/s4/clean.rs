@@ -1,0 +1,28 @@
+//! S4 clean fixture: exhaustive matches over protected enums are
+//! fine, wildcards over *unprotected* scrutinees are fine, and a
+//! wildcard in a nested match over plain data does not leak out to
+//! the protected match around it.
+
+fn classify(k: TraceKind) -> u32 {
+    match k {
+        TraceKind::SyncStart { cluster } => cluster,
+        TraceKind::CrashDetected { cluster } | TraceKind::PromotingBackup { cluster } => cluster,
+    }
+}
+
+fn nested(p: PlanKind, roll: u64) -> u64 {
+    match p {
+        PlanKind::CleanRun => match roll {
+            0 => 0,
+            _ => 1,
+        },
+        PlanKind::SingleCrash => 2,
+    }
+}
+
+fn unprotected(n: u64) -> u64 {
+    match n {
+        0 => 0,
+        _ => 1,
+    }
+}

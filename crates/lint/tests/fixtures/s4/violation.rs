@@ -1,0 +1,18 @@
+//! S4 fixture: wildcard arms over protected enums. Adding a variant
+//! to `TraceKind` or `PlanKind` must be a compile error at every
+//! consumer, not a silently-absorbed default.
+
+fn classify(k: TraceKind) -> u32 {
+    match k {
+        TraceKind::SyncStart { cluster } => cluster,
+        _ => 0,
+    }
+}
+
+fn plan_cost(p: PlanKind) -> u64 {
+    match p {
+        PlanKind::CleanRun => 0,
+        PlanKind::SingleCrash => 1,
+        _ if true => 2,
+    }
+}

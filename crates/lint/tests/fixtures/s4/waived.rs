@@ -1,0 +1,10 @@
+//! S4 waived fixture: a predicate that is genuinely uniform over
+//! every non-matching variant, waived with a recorded reason.
+
+fn is_wire(e: FaultEvent) -> bool {
+    match e {
+        FaultEvent::DropFrame { seq } => seq > 0,
+        // auros-lint: allow(S4) -- predicate is genuinely uniform over every non-wire variant
+        _ => false,
+    }
+}
