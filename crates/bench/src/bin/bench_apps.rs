@@ -1,0 +1,221 @@
+//! Application-level degradation benchmark: the three traffic-DSL apps
+//! (replicated KV, chat fan-out, ETL pipeline) run fault-free and under
+//! two canonical chaos plans — a TransientMix of frame-level faults and
+//! a CascadeFailover crash pair — with every run held against the app's
+//! executable model. The committed figures are *virtual*: makespan in
+//! ticks, throughput in ops per kilotick, and blocked-wait latency from
+//! the kernel's wait ledgers, so BENCH_APPS.json is byte-identical on
+//! any machine.
+//!
+//! ```sh
+//! cargo run --release -p auros-bench --bin bench_apps            # full matrix, writes BENCH_APPS.json
+//! cargo run --release -p auros-bench --bin bench_apps -- --quick # fault-free column only, prints
+//! ```
+
+use auros::apps::{AppKind, AppWorkload};
+use auros::{System, SystemBuilder, VTime};
+
+const CLUSTERS: u16 = 4;
+const DEADLINE: VTime = VTime(5_000_000);
+const SEED: u64 = 0xBE57;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Plan {
+    FaultFree,
+    TransientMix,
+    CascadeFailover,
+}
+
+impl Plan {
+    fn name(self) -> &'static str {
+        match self {
+            Plan::FaultFree => "fault_free",
+            Plan::TransientMix => "transient_mix",
+            Plan::CascadeFailover => "cascade_failover",
+        }
+    }
+
+    /// Injects the plan's faults. Times sit inside every app's traffic
+    /// window so the faults land on live flows, and the cascade's second
+    /// crash spares the first victim's dual-ported partner (outside the
+    /// fault model otherwise).
+    fn inject(self, b: &mut SystemBuilder) {
+        match self {
+            Plan::FaultFree => {}
+            Plan::TransientMix => {
+                b.drop_frame_at(VTime(2_500));
+                b.corrupt_frame_at(VTime(3_500));
+                b.duplicate_frame_at(VTime(4_500));
+                b.drop_frame_at(VTime(6_000));
+            }
+            Plan::CascadeFailover => {
+                b.crash_at(VTime(4_000), 0);
+                b.crash_at(VTime(11_000), 2);
+            }
+        }
+    }
+}
+
+struct Outcome {
+    app: &'static str,
+    plan: &'static str,
+    makespan_ticks: u64,
+    total_ops: u64,
+    ops_per_ktick: f64,
+    mean_wait: u64,
+    max_wait: u64,
+    p50_wait: u64,
+    p99_wait: u64,
+    promotions: u64,
+    deliveries: u64,
+}
+
+/// Quantile from the kernel's power-of-two wait histogram: the upper
+/// bound of the first bucket whose cumulative count reaches `q` percent.
+fn hist_quantile(hist: &[u64; 32], q: u64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let mut seen = 0u64;
+    for (b, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen * 100 >= total * q {
+            return (1u64 << (b + 1)) - 1;
+        }
+    }
+    u64::MAX
+}
+
+fn spawn_count(app: &AppWorkload) -> usize {
+    match app.kind {
+        AppKind::KvStore => app.trace.sessions.len() + 1,
+        AppKind::ChatFanout => app.trace.sessions.len() + 3,
+        AppKind::EtlPipeline => 3,
+    }
+}
+
+fn run_one(kind: AppKind, plan: Plan) -> Outcome {
+    let app = AppWorkload::new(kind, SEED);
+    let mut b = SystemBuilder::new(CLUSTERS);
+    app.install(&mut b);
+    plan.inject(&mut b);
+    let mut sys: System = b.build();
+    assert!(sys.run(DEADLINE), "{:?} under {} must complete", kind, plan.name());
+    let violations = app.check(&mut sys);
+    assert!(
+        violations.is_empty(),
+        "{:?} under {} violates the model: {violations:?}",
+        kind,
+        plan.name()
+    );
+    let conservation = app.check_conservation(&mut sys);
+    assert!(conservation.is_empty(), "{:?} under {}: {conservation:?}", kind, plan.name());
+
+    let (mut total_wait, mut waits, mut max_wait) = (0u64, 0u64, 0u64);
+    for i in 0..spawn_count(&app) {
+        let (t, w, m) = sys.wait_stats(i);
+        total_wait += t;
+        waits += w;
+        max_wait = max_wait.max(m);
+    }
+    let makespan = sys.now().ticks();
+    let total_ops = app.trace.total_ops();
+    let hist = &sys.world.stats.wait_hist;
+    Outcome {
+        app: match kind {
+            AppKind::KvStore => "kv_store",
+            AppKind::ChatFanout => "chat_fanout",
+            AppKind::EtlPipeline => "etl_pipeline",
+        },
+        plan: plan.name(),
+        makespan_ticks: makespan,
+        total_ops,
+        ops_per_ktick: total_ops as f64 * 1_000.0 / makespan as f64,
+        mean_wait: total_wait.checked_div(waits).unwrap_or(0),
+        max_wait,
+        p50_wait: hist_quantile(hist, 50),
+        p99_wait: hist_quantile(hist, 99),
+        promotions: sys.world.stats.clusters.iter().map(|c| c.promotions).sum(),
+        deliveries: sys.world.stats.clusters.iter().map(|c| c.deliveries).sum(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let plans: &[Plan] = if quick {
+        &[Plan::FaultFree]
+    } else {
+        &[Plan::FaultFree, Plan::TransientMix, Plan::CascadeFailover]
+    };
+
+    println!(
+        "{:<14} {:<18} {:>10} {:>8} {:>12} {:>10} {:>9} {:>9} {:>9}",
+        "app", "plan", "makespan", "ops", "ops/ktick", "mean_wait", "p50", "p99", "promos"
+    );
+    let mut outcomes = Vec::new();
+    for kind in [AppKind::KvStore, AppKind::ChatFanout, AppKind::EtlPipeline] {
+        for &plan in plans {
+            let o = run_one(kind, plan);
+            println!(
+                "{:<14} {:<18} {:>10} {:>8} {:>12.3} {:>10} {:>9} {:>9} {:>9}",
+                o.app,
+                o.plan,
+                o.makespan_ticks,
+                o.total_ops,
+                o.ops_per_ktick,
+                o.mean_wait,
+                o.p50_wait,
+                o.p99_wait,
+                o.promotions
+            );
+            outcomes.push(o);
+        }
+    }
+
+    if quick {
+        return;
+    }
+    let entries: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                concat!(
+                    "    {{\"app\": \"{}\", \"plan\": \"{}\", \"makespan_ticks\": {}, ",
+                    "\"total_ops\": {}, \"ops_per_ktick\": {:.3}, \"mean_wait\": {}, ",
+                    "\"max_wait\": {}, \"p50_wait\": {}, \"p99_wait\": {}, ",
+                    "\"promotions\": {}, \"deliveries\": {}}}"
+                ),
+                o.app,
+                o.plan,
+                o.makespan_ticks,
+                o.total_ops,
+                o.ops_per_ktick,
+                o.mean_wait,
+                o.max_wait,
+                o.p50_wait,
+                o.p99_wait,
+                o.promotions,
+                o.deliveries,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"auros-bench-apps/v1\",\n",
+            "  \"command\": \"cargo run --release -p auros-bench --bin bench_apps\",\n",
+            "  \"note\": \"all columns are virtual-time and deterministic: makespan/waits in ",
+            "ticks, throughput in ops per kilotick, latency quantiles from the kernel's ",
+            "power-of-two blocked-wait histogram; every run passed its app model check\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"matrix\": [\n{entries}\n  ]\n",
+            "}}\n"
+        ),
+        seed = SEED,
+        entries = entries.join(",\n"),
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_APPS.json");
+    std::fs::write(root, &json).expect("write BENCH_APPS.json");
+    println!("wrote {root}");
+}

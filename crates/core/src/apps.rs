@@ -1,0 +1,483 @@
+//! The robust application library: traffic-DSL-driven applications
+//! with degradation oracles.
+//!
+//! Three applications exercise the system the way the paper's on-line
+//! transaction environment would (§3), each compiled from a
+//! [`TrafficSpec`] trace and each carrying an executable *model* — the
+//! exact exit statuses and file contents a correct run must produce,
+//! computed in plain Rust from the same trace:
+//!
+//! * **KV store** — one server, clients over disjoint key ranges;
+//!   read-your-writes checked in-guest, acked puts journaled to
+//!   per-client ledgers, final state dumped durably. The
+//!   no-acked-write-lost oracle is [`AppWorkload::check`]: under any
+//!   survivable fault plan the durable state must match the model.
+//! * **Chat fan-out** — publishers on hot (Zipf-skewed) topics, a hub
+//!   assigning dense per-topic sequence numbers, subscribers checking
+//!   per-topic contiguity. Zero terminal staleness: every subscriber
+//!   must account for every message, exactly once, in per-topic order.
+//! * **ETL pipeline** — source → worker → logger with an end-of-stream
+//!   sentinel and the dead-letter quarantine path armed
+//!   ([`auros_kernel::Config::divert_quarantined`]). The conservation
+//!   oracle ([`AppWorkload::check_conservation`]) proves the committed
+//!   output plus the diverted dead letters partition the transformed
+//!   input exactly — nothing lost, nothing duplicated.
+//!
+//! Every model is a pure function of the spec, so the chaos sweep can
+//! hold faulted runs against ground truth, not merely against a twin.
+
+use std::collections::BTreeMap;
+
+use auros_bus::proto::BackupMode;
+
+use crate::traffic::{OpTrace, TrafficSpec};
+use crate::{System, SystemBuilder};
+
+/// Exit-status checksum mask: the high 16 bits carry in-guest
+/// invariant-violation counters (see `programs::kv_client` and
+/// friends), the low 48 the data checksum.
+const CHECK_MASK: u64 = (1 << 48) - 1;
+
+/// Which application a workload drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppKind {
+    /// Replicated KV store with read-your-writes clients.
+    KvStore,
+    /// Chat fan-out with hot topics and contiguity-checking subscribers.
+    ChatFanout,
+    /// Source → worker → logger pipeline with dead-letter diversion.
+    EtlPipeline,
+}
+
+/// The expected externally visible record of a correct run: exit
+/// status per spawn index and contents per application file.
+#[derive(Clone, Debug)]
+pub struct AppModel {
+    /// Expected exit status of each spawn, in spawn order.
+    pub exits: Vec<u64>,
+    /// Expected contents of each application file.
+    pub files: BTreeMap<String, Vec<u8>>,
+}
+
+/// One application workload: kind, spec, and the generated trace.
+#[derive(Clone, Debug)]
+pub struct AppWorkload {
+    /// Which application this drives.
+    pub kind: AppKind,
+    /// The generator spec the trace came from.
+    pub spec: TrafficSpec,
+    /// The generated schedule (a pure function of the spec).
+    pub trace: OpTrace,
+}
+
+/// Topics in the chat application.
+const CHAT_TOPICS: u64 = 4;
+/// Keys per KV client; client `k` owns `[k·KV_KEYS, (k+1)·KV_KEYS)`.
+const KV_KEYS: u64 = 8;
+
+impl AppWorkload {
+    /// Builds a workload of `kind` from `seed`.
+    ///
+    /// Pacing floors matter: every spec keeps `ops_min × base` above the
+    /// chaos sweep's poison-trigger window (triggers arm by tick 4500),
+    /// and diurnal factors only *stretch*, so a poisoned consumer is
+    /// still consuming when its trigger arms — an armed poison that
+    /// never strikes is an oracle violation.
+    pub fn new(kind: AppKind, seed: u64) -> AppWorkload {
+        let spec = match kind {
+            AppKind::KvStore => TrafficSpec::new(seed ^ 0x4b56)
+                .sessions(3)
+                .ops(14, 20)
+                .pacing(400, 1, 2, 4)
+                .keyspace(KV_KEYS, 1)
+                .reads(1, 3)
+                .staggered(600)
+                .diurnal(3_000, &[(1, 1), (3, 2), (2, 1), (1, 1)]),
+            AppKind::ChatFanout => TrafficSpec::new(seed ^ 0x4348_4154)
+                .sessions(2)
+                .ops(16, 24)
+                .pacing(350, 1, 2, 5)
+                .keyspace(CHAT_TOPICS, 2)
+                .reads(0, 1)
+                .staggered(500)
+                .diurnal(4_000, &[(1, 1), (2, 1)]),
+            AppKind::EtlPipeline => TrafficSpec::new(seed ^ 0x45_544c)
+                .sessions(1)
+                .ops(30, 38)
+                .pacing(250, 1, 2, 3)
+                .keyspace(1, 0)
+                .reads(0, 1)
+                .diurnal(5_000, &[(1, 1), (3, 2)]),
+        };
+        let trace = spec.generate();
+        AppWorkload { kind, spec, trace }
+    }
+
+    /// Convenience constructors.
+    pub fn kv(seed: u64) -> AppWorkload {
+        AppWorkload::new(AppKind::KvStore, seed)
+    }
+    /// See [`AppWorkload::new`].
+    pub fn chat(seed: u64) -> AppWorkload {
+        AppWorkload::new(AppKind::ChatFanout, seed)
+    }
+    /// See [`AppWorkload::new`].
+    pub fn etl(seed: u64) -> AppWorkload {
+        AppWorkload::new(AppKind::EtlPipeline, seed)
+    }
+
+    /// Spawns the application's processes (all fullbacks, the paper's
+    /// flagship mode) into `b`, spreading roles across clusters. Spawn
+    /// indices are stable: see [`AppWorkload::poisonable_spawns`].
+    pub fn install(&self, b: &mut SystemBuilder) {
+        if self.divert_quarantined() {
+            b.config_mut().divert_quarantined = true;
+        }
+        match self.kind {
+            AppKind::KvStore => {
+                let total = self.trace.total_ops();
+                let clients = self.trace.sessions.len() as u64;
+                b.spawn_with_mode(
+                    0,
+                    crate::programs::kv_server_multi(
+                        "kv",
+                        clients,
+                        total,
+                        clients * KV_KEYS,
+                        "/kv_state",
+                    ),
+                    BackupMode::Fullback,
+                );
+                for (k, s) in self.trace.sessions.iter().enumerate() {
+                    let ops: Vec<(u64, u64, u64, bool)> = s
+                        .ops
+                        .iter()
+                        .map(|op| (op.gap, k as u64 * KV_KEYS + op.key, op.value, op.read))
+                        .collect();
+                    b.spawn_with_mode(
+                        1 + (k as u16 % 3),
+                        crate::programs::kv_client(
+                            &format!("kv{k}"),
+                            &format!("/kv_acks{k}"),
+                            s.start_gap,
+                            &ops,
+                        ),
+                        BackupMode::Fullback,
+                    );
+                }
+            }
+            AppKind::ChatFanout => {
+                let total = self.trace.total_ops();
+                let pubs = self.trace.sessions.len() as u64;
+                b.spawn_with_mode(
+                    0,
+                    crate::programs::chat_hub("chat", pubs, 2, total, CHAT_TOPICS, "/chat_state"),
+                    BackupMode::Fullback,
+                );
+                for (i, s) in self.trace.sessions.iter().enumerate() {
+                    let msgs: Vec<(u64, u64, u64)> =
+                        s.ops.iter().map(|op| (op.gap, op.key, op.value)).collect();
+                    b.spawn_with_mode(
+                        1 + (i as u16 % 2),
+                        crate::programs::chat_publisher(&format!("chat_p{i}"), s.start_gap, &msgs),
+                        BackupMode::Fullback,
+                    );
+                }
+                b.spawn_with_mode(
+                    3,
+                    crate::programs::chat_subscriber("chat_s0", total),
+                    BackupMode::Fullback,
+                );
+                b.spawn_with_mode(
+                    1,
+                    crate::programs::chat_subscriber("chat_s1", total),
+                    BackupMode::Fullback,
+                );
+            }
+            AppKind::EtlPipeline => {
+                let s = &self.trace.sessions[0];
+                let records: Vec<(u64, u64)> = s.ops.iter().map(|op| (op.gap, op.value)).collect();
+                b.spawn_with_mode(
+                    0,
+                    crate::programs::etl_source("etl_a", s.start_gap, &records),
+                    BackupMode::Fullback,
+                );
+                b.spawn_with_mode(
+                    1,
+                    crate::programs::etl_worker("etl_a", "etl_b"),
+                    BackupMode::Fullback,
+                );
+                b.spawn_with_mode(
+                    2,
+                    crate::programs::etl_logger("etl_b", "/etl_out"),
+                    BackupMode::Fullback,
+                );
+            }
+        }
+    }
+
+    /// Spawn indices that consume data payloads — the only processes a
+    /// poison trigger can strike (a trigger armed at a non-consumer
+    /// never fires, which the survival oracle reports as a plan bug).
+    pub fn poisonable_spawns(&self) -> Vec<usize> {
+        match self.kind {
+            // The server consumes requests; clients consume replies.
+            AppKind::KvStore => (0..=self.trace.sessions.len()).collect(),
+            // The hub consumes publications; the two subscribers (the
+            // last two spawns) consume fan-out. Publishers only send.
+            AppKind::ChatFanout => {
+                let subs_at = 1 + self.trace.sessions.len();
+                vec![0, subs_at, subs_at + 1]
+            }
+            // Worker and logger consume; the source only sends.
+            AppKind::EtlPipeline => vec![1, 2],
+        }
+    }
+
+    /// Whether this application arms dead-letter diversion: quarantine
+    /// also purges the poisoned message's saved copies, so the pipeline
+    /// flows *around* the bad record instead of re-consuming it.
+    pub fn divert_quarantined(&self) -> bool {
+        matches!(self.kind, AppKind::EtlPipeline)
+    }
+
+    /// Computes the model: the exact exits and file contents of a
+    /// correct, undegraded run — a pure function of the trace.
+    pub fn model(&self) -> AppModel {
+        match self.kind {
+            AppKind::KvStore => self.kv_model(),
+            AppKind::ChatFanout => self.chat_model(),
+            AppKind::EtlPipeline => self.etl_model(),
+        }
+    }
+
+    fn kv_model(&self) -> AppModel {
+        let clients = self.trace.sessions.len();
+        let keys = clients as u64 * KV_KEYS;
+        // Per-key server state: (version, value). Disjoint key ranges
+        // make each key's evolution a pure function of one session.
+        let mut version = vec![0u64; keys as usize];
+        let mut value = vec![0u64; keys as usize];
+        let mut client_sums = vec![0u64; clients];
+        let mut acks: Vec<Vec<u8>> = vec![Vec::new(); clients];
+        for (k, s) in self.trace.sessions.iter().enumerate() {
+            for op in &s.ops {
+                let g = (k as u64 * KV_KEYS + op.key) as usize;
+                if !op.read {
+                    version[g] += 1;
+                    value[g] = op.value;
+                    acks[k].extend_from_slice(&(g as u64).to_le_bytes());
+                    acks[k].extend_from_slice(&op.value.to_le_bytes());
+                }
+                client_sums[k] = client_sums[k].wrapping_add(version[g]).wrapping_add(value[g]);
+            }
+        }
+        let server_exit = client_sums.iter().fold(0u64, |a, &c| a.wrapping_add(c));
+        let mut exits = vec![server_exit];
+        exits.extend(client_sums.iter().map(|c| c & CHECK_MASK));
+        let mut state = Vec::new();
+        for g in 0..keys as usize {
+            state.extend_from_slice(&(g as u64).to_le_bytes());
+            state.extend_from_slice(&version[g].to_le_bytes());
+            state.extend_from_slice(&value[g].to_le_bytes());
+        }
+        let mut files: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        files.insert("/kv_state".to_string(), state);
+        for (k, a) in acks.into_iter().enumerate() {
+            files.insert(format!("/kv_acks{k}"), a);
+        }
+        AppModel { exits, files }
+    }
+
+    fn chat_model(&self) -> AppModel {
+        let mut counts = vec![0u64; CHAT_TOPICS as usize];
+        let mut base_sum = 0u64; // Σ (topic + value)
+        let mut pub_exits = Vec::new();
+        for s in &self.trace.sessions {
+            let mut own = 0u64;
+            for op in &s.ops {
+                counts[op.key as usize] += 1;
+                own = own.wrapping_add(op.key).wrapping_add(op.value);
+            }
+            base_sum = base_sum.wrapping_add(own);
+            pub_exits.push(own);
+        }
+        // Dense per-topic sequences contribute Σ_t n_t(n_t+1)/2
+        // regardless of publisher interleaving.
+        let seq_sum = counts.iter().fold(0u64, |a, &n| a.wrapping_add(n * (n + 1) / 2));
+        let full = base_sum.wrapping_add(seq_sum);
+        let mut exits = vec![full];
+        exits.extend(pub_exits);
+        exits.push(full & CHECK_MASK);
+        exits.push(full & CHECK_MASK);
+        let mut state = Vec::new();
+        for (t, &n) in counts.iter().enumerate() {
+            state.extend_from_slice(&(t as u64).to_le_bytes());
+            state.extend_from_slice(&n.to_le_bytes());
+        }
+        let files = [("/chat_state".to_string(), state)].into_iter().collect();
+        AppModel { exits, files }
+    }
+
+    fn etl_model(&self) -> AppModel {
+        let records: Vec<u64> = self.trace.sessions[0].ops.iter().map(|op| op.value).collect();
+        let source: u64 = records.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        let transformed: Vec<u64> = records.iter().map(|&v| v * 3 + 7).collect();
+        let t_sum: u64 = transformed.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        let mut out = Vec::new();
+        for &t in &transformed {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        let files = [("/etl_out".to_string(), out)].into_iter().collect();
+        AppModel { exits: vec![source & CHECK_MASK, t_sum & CHECK_MASK, t_sum & CHECK_MASK], files }
+    }
+
+    /// Checks a completed run against the model: every exit status and
+    /// every application file must match exactly. Returns violations
+    /// (empty = the run is correct *and* undegraded — in particular no
+    /// acknowledged write was lost and no in-guest invariant counter is
+    /// nonzero, since those live in the compared exit statuses).
+    pub fn check(&self, sys: &mut System) -> Vec<String> {
+        let model = self.model();
+        let mut violations = Vec::new();
+        for (i, want) in model.exits.iter().enumerate() {
+            match sys.exit_of(i) {
+                Some(got) if got == *want => {}
+                got => violations.push(format!(
+                    "{:?} spawn {i}: exit {got:?}, model says {want:#x} \
+                     (high bits would be in-guest invariant violations)",
+                    self.kind
+                )),
+            }
+        }
+        for (path, want) in &model.files {
+            match sys.file_contents(path) {
+                Some(got) if got == *want => {}
+                Some(got) => violations.push(format!(
+                    "{:?} file {path}: {} bytes, model says {} bytes",
+                    self.kind,
+                    got.len(),
+                    want.len()
+                )),
+                None => violations.push(format!("{:?} file {path}: missing", self.kind)),
+            }
+        }
+        violations
+    }
+
+    /// The dead-letter conservation oracle (ETL only; trivially empty
+    /// for the other apps). On any completed run:
+    ///
+    /// > committed output ⊎ diverted dead letters = transformed input,
+    ///
+    /// as multisets, where a dead letter quarantined at the worker
+    /// counts as its transform and one quarantined at the logger is
+    /// already transformed. Un-diverted dead letters are *not*
+    /// subtracted: quarantine without diversion defuses the message in
+    /// place, so its record still flows to the committed output.
+    pub fn check_conservation(&self, sys: &mut System) -> Vec<String> {
+        if self.kind != AppKind::EtlPipeline {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        let mut expect: BTreeMap<u64, i64> = BTreeMap::new();
+        for op in &self.trace.sessions[0].ops {
+            *expect.entry(op.value * 3 + 7).or_insert(0) += 1;
+        }
+        let committed = sys.file_contents("/etl_out").unwrap_or_default();
+        if committed.len() % 8 != 0 {
+            violations.push(format!("/etl_out is torn: {} bytes", committed.len()));
+        }
+        for chunk in committed.chunks_exact(8) {
+            let v = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+            *expect.entry(v).or_insert(0) -= 1;
+        }
+        let worker = sys.pids[1];
+        let logger = sys.pids[2];
+        for (id, dl) in sys.world.dead_letter_records() {
+            if !dl.diverted {
+                continue;
+            }
+            let as_committed = if dl.victim == worker {
+                dl.record * 3 + 7
+            } else if dl.victim == logger {
+                dl.record
+            } else {
+                violations.push(format!(
+                    "dead letter {id:#x} blames {}, which is no pipeline stage",
+                    dl.victim
+                ));
+                continue;
+            };
+            *expect.entry(as_committed).or_insert(0) -= 1;
+        }
+        for (v, n) in expect {
+            match n {
+                0 => {}
+                n if n > 0 => violations.push(format!(
+                    "record {v:#x}: {n} instance(s) vanished — neither committed nor dead-lettered"
+                )),
+                n => violations.push(format!(
+                    "record {v:#x}: {} surplus instance(s) — duplicated into committed output",
+                    -n
+                )),
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_pure_functions_of_the_seed() {
+        for kind in [AppKind::KvStore, AppKind::ChatFanout, AppKind::EtlPipeline] {
+            let a = AppWorkload::new(kind, 77);
+            let b = AppWorkload::new(kind, 77);
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.model().exits, b.model().exits);
+            assert_eq!(a.model().files, b.model().files);
+            let c = AppWorkload::new(kind, 78);
+            assert_ne!(a.trace.stream_bytes(), c.trace.stream_bytes());
+        }
+    }
+
+    #[test]
+    fn kv_model_accounts_every_put_in_the_ledgers() {
+        let app = AppWorkload::kv(5);
+        let model = app.model();
+        let puts: usize =
+            app.trace.sessions.iter().map(|s| s.ops.iter().filter(|o| !o.read).count()).sum();
+        let ledger_bytes: usize =
+            (0..app.trace.sessions.len()).map(|k| model.files[&format!("/kv_acks{k}")].len()).sum();
+        assert_eq!(ledger_bytes, puts * 16, "one 16-byte entry per acked put");
+    }
+
+    #[test]
+    fn chat_model_fans_every_message_to_every_subscriber() {
+        let app = AppWorkload::chat(5);
+        let model = app.model();
+        // Hub exit, one per publisher, then two identical subscriber
+        // exits — full delivery means both subscribers fold the same
+        // stream.
+        let n = model.exits.len();
+        assert_eq!(n, 1 + app.trace.sessions.len() + 2);
+        assert_eq!(model.exits[n - 1], model.exits[n - 2]);
+    }
+
+    #[test]
+    fn etl_poison_floor_clears_the_trigger_window() {
+        // ops_min × base pacing must outlast the latest poison trigger
+        // (4500): a worker or logger must still be consuming when armed.
+        for kind in [AppKind::KvStore, AppKind::ChatFanout, AppKind::EtlPipeline] {
+            let app = AppWorkload::new(kind, 123);
+            let floor = app.spec.ops_min * app.spec.arrivals.base;
+            assert!(floor > 4_500, "{kind:?}: pacing floor {floor} inside the trigger window");
+            for (num, den) in &app.spec.ramp.factors {
+                assert!(num >= den, "{kind:?}: ramp factor {num}/{den} compresses below base");
+            }
+        }
+    }
+}

@@ -25,6 +25,7 @@ use auros_bus::proto::BackupMode;
 use auros_bus::BusKind;
 use auros_sim::{DetRng, Dur, VTime};
 
+use crate::apps::{AppKind, AppWorkload};
 use crate::fault::FaultEvent;
 use crate::oracle::{check_survival, RunDigest};
 use crate::{programs, System, SystemBuilder};
@@ -38,6 +39,38 @@ const DEADLINE: VTime = VTime(5_000_000);
 /// unbounded capture across hundreds of sweeps.
 const RING_DEPTH: usize = 4096;
 
+/// Which workload the sweep drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// The original fixed workload: pingpong, file writer, compute loop.
+    Baseline,
+    /// The traffic-DSL KV store ([`AppKind::KvStore`]).
+    KvStore,
+    /// The chat fan-out service ([`AppKind::ChatFanout`]).
+    ChatFanout,
+    /// The ETL pipeline with dead-letter diversion
+    /// ([`AppKind::EtlPipeline`]).
+    EtlPipeline,
+}
+
+impl Scenario {
+    /// The application workload this scenario drives, if any. Derived
+    /// from the sweep seed, so one seed reproduces traffic and faults
+    /// alike.
+    pub fn app(self, seed: u64) -> Option<AppWorkload> {
+        match self {
+            Scenario::Baseline => None,
+            Scenario::KvStore => Some(AppWorkload::new(AppKind::KvStore, seed)),
+            Scenario::ChatFanout => Some(AppWorkload::new(AppKind::ChatFanout, seed)),
+            Scenario::EtlPipeline => Some(AppWorkload::new(AppKind::EtlPipeline, seed)),
+        }
+    }
+
+    /// Every scenario, baseline first.
+    pub const ALL: [Scenario; 4] =
+        [Scenario::Baseline, Scenario::KvStore, Scenario::ChatFanout, Scenario::EtlPipeline];
+}
+
 /// Sweep parameters.
 #[derive(Clone, Debug)]
 pub struct ChaosConfig {
@@ -50,11 +83,18 @@ pub struct ChaosConfig {
     /// supervision pathologies (restart thrash, replay storms) that the
     /// digest comparison alone cannot see.
     pub max_work_factor: u64,
+    /// Which workload to drive the plans against.
+    pub scenario: Scenario,
 }
 
 impl Default for ChaosConfig {
     fn default() -> ChaosConfig {
-        ChaosConfig { seed: 0xA42_0001, plans: 100, max_work_factor: 3 }
+        ChaosConfig {
+            seed: 0xA42_0001,
+            plans: 100,
+            max_work_factor: 3,
+            scenario: Scenario::Baseline,
+        }
     }
 }
 
@@ -254,11 +294,27 @@ impl ChaosReport {
 /// demand-paged computation. Everything runs as a fullback, the paper's
 /// flagship mode, so sequenced faults exercise §7.10.2 backup
 /// re-creation rather than quarterback run-unprotected semantics.
-fn workload(b: &mut SystemBuilder) {
-    b.spawn_with_mode(0, programs::pingpong("chaos", 40, true), BackupMode::Fullback);
-    b.spawn_with_mode(1, programs::pingpong("chaos", 40, false), BackupMode::Fullback);
-    b.spawn_with_mode(2, programs::file_writer("/chaos", 8, 48), BackupMode::Fullback);
-    b.spawn_with_mode(3, programs::compute_loop(600, 4), BackupMode::Fullback);
+fn workload(b: &mut SystemBuilder, app: Option<&AppWorkload>) {
+    match app {
+        None => {
+            b.spawn_with_mode(0, programs::pingpong("chaos", 40, true), BackupMode::Fullback);
+            b.spawn_with_mode(1, programs::pingpong("chaos", 40, false), BackupMode::Fullback);
+            b.spawn_with_mode(2, programs::file_writer("/chaos", 8, 48), BackupMode::Fullback);
+            b.spawn_with_mode(3, programs::compute_loop(600, 4), BackupMode::Fullback);
+        }
+        Some(a) => a.install(b),
+    }
+}
+
+/// Spawn indices a poison trigger may target: processes that consume
+/// data payloads. The baseline list is the rendezvous pair — the file
+/// writer only ever reads file-server replies, so a poison aimed at it
+/// would never trigger.
+fn poisonable(app: Option<&AppWorkload>) -> Vec<usize> {
+    match app {
+        None => vec![0, 1],
+        Some(a) => a.poisonable_spawns(),
+    }
 }
 
 /// Synchronization cadence of the sweep machine: the default kernel
@@ -269,7 +325,7 @@ const SYNC_CADENCE: u64 = 50_000;
 /// Samples one fault plan from `rng`, returning the shape, the concrete
 /// events, and whether *this instance* is expected survivable (the
 /// correlated shapes decide that per draw).
-fn sample_plan(rng: &mut DetRng) -> (PlanKind, Vec<FaultEvent>, bool) {
+fn sample_plan(rng: &mut DetRng, poisonable: &[usize]) -> (PlanKind, Vec<FaultEvent>, bool) {
     let kind = PlanKind::ALL[rng.below(PlanKind::ALL.len() as u64) as usize];
     let mut expect_survivable = kind.expect_survivable();
     let events = match kind {
@@ -375,13 +431,12 @@ fn sample_plan(rng: &mut DetRng) -> (PlanKind, Vec<FaultEvent>, bool) {
             events
         }
         PlanKind::CrashLoop => {
-            // Poison one of the rendezvous pair: those are the spawns
-            // that consume data payloads (the file writer only ever
-            // reads file-server replies, so a poison aimed at it would
-            // never trigger). The pair drains its data traffic within
-            // the first few thousand ticks, so the trigger arms early
-            // enough to be guaranteed a strike.
-            let spawn = rng.below(2) as usize;
+            // Poison one of the scenario's data consumers (the baseline
+            // list is the rendezvous pair; app scenarios name their
+            // consuming roles). Every workload keeps data flowing past
+            // tick 4_500, so the trigger arms early enough to be
+            // guaranteed a strike.
+            let spawn = poisonable[rng.below(poisonable.len() as u64) as usize];
             vec![FaultEvent::PoisonMessage { at: VTime(rng.range(2_000, 4_500)), spawn }]
         }
         PlanKind::ZoneOutage => {
@@ -413,9 +468,9 @@ fn sample_plan(rng: &mut DetRng) -> (PlanKind, Vec<FaultEvent>, bool) {
     (kind, events, expect_survivable)
 }
 
-fn build(plan: &[FaultEvent]) -> System {
+fn build(plan: &[FaultEvent], app: Option<&AppWorkload>) -> System {
     let mut b = SystemBuilder::new(CLUSTERS);
-    workload(&mut b);
+    workload(&mut b, app);
     b.fault_plan(plan.iter().copied());
     let mut sys = b.try_build().expect("sampled plans are always well-formed");
     // Flight recorder on: every category, bounded ring (§ the fingerprints
@@ -427,28 +482,54 @@ fn build(plan: &[FaultEvent]) -> System {
 
 /// Runs the sweep.
 pub fn run_sweep(cfg: &ChaosConfig) -> ChaosReport {
+    let app = cfg.scenario.app(cfg.seed);
+    let app = app.as_ref();
     // The fault-free twin, computed once: the workload is fixed.
-    let mut clean_sys = build(&[]);
+    let mut clean_sys = build(&[], app);
     assert!(clean_sys.run(DEADLINE), "the fault-free workload must complete");
     let clean: RunDigest = clean_sys.digest();
     let clean_trace = clean_sys.world.trace.snapshot();
     let clean_work = clean_sys.world.stats.total_work_busy().as_ticks();
+    // App scenarios hold the twin against the executable model, not
+    // merely against itself: a twin that already lost an acked write or
+    // broke conservation would otherwise make every faulted run "pass".
+    let mut failures = Vec::new();
+    if let Some(a) = app {
+        for v in a.check(&mut clean_sys) {
+            failures.push(format!("fault-free twin violates the {:?} model: {v}", a.kind));
+        }
+    }
 
+    let spawns = poisonable(app);
     let mut rng = DetRng::seed(cfg.seed);
     let mut outcomes = Vec::with_capacity(cfg.plans);
-    let mut failures = Vec::new();
     for index in 0..cfg.plans {
         let mut plan_rng = rng.split(index as u64);
-        let (kind, events, expect_survivable) = sample_plan(&mut plan_rng);
-        let mut sys = build(&events);
+        let (kind, events, expect_survivable) = sample_plan(&mut plan_rng, &spawns);
+        let mut sys = build(&events, app);
         let completed = sys.run(DEADLINE);
         let digest = completed.then(|| sys.digest());
+        // Dead-letter diversion makes quarantined CrashLoop plans
+        // *legitimately* diverge from the twin — records flow around
+        // the poisoned message. Those runs answer to the conservation
+        // oracle instead of the digest comparison.
+        let diverted_run = app.is_some_and(|a| a.divert_quarantined())
+            && kind == PlanKind::CrashLoop
+            && sys.world.stats.diverted_records > 0;
         let violation;
         let survived = match &digest {
             Some(d) if *d == clean => {
                 let survival = check_survival(&sys);
                 violation = survival.violations.first().cloned();
                 survival.ok()
+            }
+            Some(_) if diverted_run => {
+                let mut v = check_survival(&sys).violations;
+                if let Some(a) = app {
+                    v.extend(a.check_conservation(&mut sys));
+                }
+                violation = v.first().cloned();
+                v.is_empty()
             }
             Some(d) => {
                 // Localize: where did the faulted run's event stream first
@@ -592,9 +673,9 @@ mod tests {
         let mut rng = DetRng::seed(0xC0FFEE);
         for index in 0..200 {
             let mut plan_rng = rng.split(index);
-            let (kind, events, _) = sample_plan(&mut plan_rng);
+            let (kind, events, _) = sample_plan(&mut plan_rng, &[0, 1]);
             let mut b = SystemBuilder::new(CLUSTERS);
-            workload(&mut b);
+            workload(&mut b, None);
             b.fault_plan(events.iter().copied());
             assert!(b.try_build().is_ok(), "plan {index} ({kind:?}) {events:?} failed validation");
         }

@@ -38,6 +38,7 @@
 //! assert_eq!(build(false), build(true));
 //! ```
 
+pub mod apps;
 pub mod builder;
 pub mod chaos;
 pub mod fault;
@@ -45,6 +46,7 @@ pub mod oracle;
 pub mod programs;
 pub mod report;
 pub mod topology;
+pub mod traffic;
 
 pub use builder::{System, SystemBuilder};
 pub use fault::{FaultEvent, FaultPlanError};

@@ -831,6 +831,503 @@ pub fn nested_forker(work: u32) -> Program {
     b.build()
 }
 
+// ---------------------------------------------------------------------
+// Application library (robust apps driven by the traffic DSL)
+// ---------------------------------------------------------------------
+
+/// Low 48 bits: application checksums reserve the high 16 bits of the
+/// exit status for invariant-violation counters.
+const CHECK_MASK: u64 = (1 << 48) - 1;
+
+/// Emits `exit((R10 & CHECK_MASK) + (R13 << 48))` — the application
+/// convention: checksum low, violation counter high.
+fn emit_checked_exit(b: &mut ProgramBuilder) {
+    b.li(R7, CHECK_MASK);
+    b.and(R10, R10, R7);
+    b.li(R7, 1 << 48);
+    b.mul(R13, R13, R7);
+    b.add(R1, R10, R13);
+    b.trap(Sys::Exit);
+}
+
+/// The replicated KV store's server: one rendezvous channel per client
+/// (`name0`, `name1`, …) grouped with `bunch`, serving `n_req` requests
+/// of the form `[op, key, value]` (op 0 = get, 1 = put) with replies
+/// `[version, value]`. Per-key state lives one page per key; a put
+/// bumps the version. After the last request the server dumps
+/// `[key, version, value]` per key to `state_path` — the durable state
+/// the no-acked-write-lost oracle audits.
+///
+/// The exit checksum sums `version + value` over every reply, which is
+/// permutation-invariant across clients **provided clients use disjoint
+/// key ranges** (see [`bank_client_at`]'s note on `which` order).
+pub fn kv_server_multi(
+    name: &str,
+    clients: u64,
+    n_req: u64,
+    keys: u64,
+    state_path: &str,
+) -> Program {
+    let mut b = ProgramBuilder::new("kv_server_multi");
+    for k in 0..clients {
+        let chan = format!("{name}{k}");
+        emit_open(&mut b, &chan);
+        b.li(R1, 1);
+        b.mov(R2, R4);
+        b.trap(Sys::Bunch);
+    }
+    b.li(R5, n_req);
+    b.li(R10, 0);
+    let top = b.here();
+    b.li(R1, 1);
+    b.trap(Sys::Which);
+    b.mov(R4, R0);
+    b.mov(R1, R4);
+    b.li(R2, BUF);
+    b.li(R3, 24);
+    b.trap(Sys::Read);
+    b.li(R7, BUF);
+    b.load(R6, R7, 0); // op
+    b.load(R8, R7, 8); // key
+    b.load(R9, R7, 16); // value
+                        // slot = TABLE + key * PAGE
+    b.li(R11, PAGE);
+    b.mul(R11, R8, R11);
+    b.li(R12, TABLE);
+    b.add(R11, R11, R12);
+    let reply = b.new_label();
+    b.jz(R6, reply);
+    // Put: version += 1, store the value.
+    b.load(R12, R11, 0);
+    b.addi(R12, R12, 1);
+    b.store_at(R12, R11, 0);
+    b.store_at(R9, R11, 8);
+    b.bind(reply);
+    b.load(R12, R11, 0); // version
+    b.load(R9, R11, 8); // current value
+    b.add(R10, R10, R12);
+    b.add(R10, R10, R9);
+    b.li(R7, BUF + 32);
+    b.store_at(R12, R7, 0);
+    b.store_at(R9, R7, 8);
+    b.mov(R1, R4);
+    b.li(R2, BUF + 32);
+    b.li(R3, 16);
+    b.trap(Sys::Write);
+    b.compute(25);
+    b.addi(R5, R5, -1);
+    b.jnz(R5, top);
+    // Dump the durable state: [key, version, value] per key.
+    emit_open(&mut b, state_path);
+    b.li(R6, 0); // key
+    let dump = b.here();
+    b.li(R11, PAGE);
+    b.mul(R11, R6, R11);
+    b.li(R12, TABLE);
+    b.add(R11, R11, R12);
+    b.load(R8, R11, 0);
+    b.load(R9, R11, 8);
+    b.li(R7, DATA);
+    b.store_at(R6, R7, 0);
+    b.store_at(R8, R7, 8);
+    b.store_at(R9, R7, 16);
+    b.mov(R1, R4);
+    b.li(R2, DATA);
+    b.li(R3, 24);
+    b.trap(Sys::Write);
+    b.addi(R6, R6, 1);
+    b.li(R8, keys);
+    b.ltu(R9, R6, R8);
+    b.jnz(R9, dump);
+    b.mov(R1, R10);
+    b.trap(Sys::Exit);
+    b.build()
+}
+
+/// A KV client driving one traffic-DSL session: each op is
+/// `(gap, key, value, read)`, unrolled into straight-line code. Puts
+/// are acknowledged by the server's `[version, value]` reply and then
+/// appended to the `acks_path` ledger (`[key, value]` per acked put) —
+/// the client-side half of the no-acked-write-lost oracle. Gets check
+/// read-your-writes against the client's own last put per key; each
+/// violation bumps the counter in the exit status's high 16 bits.
+///
+/// Keys must be globally disjoint across concurrent clients (the DSL
+/// assigns disjoint ranges) so server-side state is independent of
+/// cross-client arrival order.
+pub fn kv_client(
+    chan: &str,
+    acks_path: &str,
+    start_gap: u64,
+    ops: &[(u64, u64, u64, bool)],
+) -> Program {
+    let mut b = ProgramBuilder::new("kv_client");
+    emit_open(&mut b, chan);
+    b.mov(R11, R4); // server channel fd
+    emit_open(&mut b, acks_path);
+    b.mov(R12, R4); // acks ledger fd
+    b.li(R10, 0); // checksum
+    b.li(R13, 0); // read-your-writes violations
+    b.compute(start_gap.min(u32::MAX as u64) as u32);
+    for &(gap, key, value, read) in ops {
+        b.compute(gap.min(u32::MAX as u64) as u32);
+        b.li(R7, BUF);
+        b.li(R6, if read { 0 } else { 1 });
+        b.store_at(R6, R7, 0);
+        b.li(R6, key);
+        b.store_at(R6, R7, 8);
+        b.li(R6, if read { 0 } else { value });
+        b.store_at(R6, R7, 16);
+        b.mov(R1, R11);
+        b.li(R2, BUF);
+        b.li(R3, 24);
+        b.trap(Sys::Write);
+        b.mov(R1, R11);
+        b.li(R2, BUF + 32);
+        b.li(R3, 16);
+        b.trap(Sys::Read);
+        b.li(R7, BUF + 32);
+        b.load(R8, R7, 0); // version
+        b.load(R9, R7, 8); // value echoed back
+        b.add(R10, R10, R8);
+        b.add(R10, R10, R9);
+        // slot = TABLE + key * PAGE holds (last put value, written flag).
+        b.li(R6, PAGE);
+        b.li(R7, key);
+        b.mul(R6, R7, R6);
+        b.li(R7, TABLE);
+        b.add(R6, R6, R7);
+        if read {
+            // Read-your-writes: if this client ever put this key, the
+            // reply value must echo its own last put.
+            let unwritten = b.new_label();
+            b.load(R8, R6, 8);
+            b.jz(R8, unwritten);
+            b.load(R8, R6, 0);
+            b.sub(R8, R9, R8);
+            b.jz(R8, unwritten);
+            b.addi(R13, R13, 1);
+            b.bind(unwritten);
+        } else {
+            // Record the acked put locally, then in the durable ledger.
+            b.li(R7, value);
+            b.store_at(R7, R6, 0);
+            b.li(R8, 1);
+            b.store_at(R8, R6, 8);
+            b.li(R6, BUF + 48);
+            b.li(R8, key);
+            b.store_at(R8, R6, 0);
+            b.store_at(R7, R6, 8);
+            b.mov(R1, R12);
+            b.li(R2, BUF + 48);
+            b.li(R3, 16);
+            b.trap(Sys::Write);
+        }
+    }
+    emit_checked_exit(&mut b);
+    b.build()
+}
+
+/// Base of the chat hub's subscriber-fd table (clear of the per-topic
+/// sequence pages below it).
+const SUBFD: u64 = TABLE + 48 * PAGE;
+
+/// The chat hub: publishers send `[topic, value]` on per-publisher
+/// channels (`name_p{i}`, grouped with `bunch`); the hub assigns each
+/// topic a dense per-topic sequence number and fans `[topic, seq,
+/// value]` out to every subscriber channel (`name_s{j}`). After
+/// `total` messages it dumps `[topic, count]` per topic to
+/// `state_path`. The exit checksum sums `topic + seq + value`, which is
+/// permutation-invariant across publisher arrival orders: per-topic
+/// sequence numbers are dense, so their sum depends only on each
+/// topic's message *count*, fixed by the traces.
+pub fn chat_hub(
+    name: &str,
+    pubs: u64,
+    subs: u64,
+    total: u64,
+    topics: u64,
+    state_path: &str,
+) -> Program {
+    let mut b = ProgramBuilder::new("chat_hub");
+    for j in 0..subs {
+        let chan = format!("{name}_s{j}");
+        emit_open(&mut b, &chan);
+        b.li(R7, SUBFD + j * 8);
+        b.store_at(R4, R7, 0);
+    }
+    for i in 0..pubs {
+        let chan = format!("{name}_p{i}");
+        emit_open(&mut b, &chan);
+        b.li(R1, 1);
+        b.mov(R2, R4);
+        b.trap(Sys::Bunch);
+    }
+    b.li(R5, total);
+    b.li(R10, 0);
+    let top = b.here();
+    b.li(R1, 1);
+    b.trap(Sys::Which);
+    b.mov(R4, R0);
+    b.mov(R1, R4);
+    b.li(R2, BUF);
+    b.li(R3, 16);
+    b.trap(Sys::Read);
+    b.li(R7, BUF);
+    b.load(R6, R7, 0); // topic
+    b.load(R8, R7, 8); // value
+                       // seq = ++seqs[topic]
+    b.li(R9, PAGE);
+    b.mul(R9, R6, R9);
+    b.li(R11, TABLE);
+    b.add(R9, R9, R11);
+    b.load(R11, R9, 0);
+    b.addi(R11, R11, 1);
+    b.store_at(R11, R9, 0);
+    b.add(R10, R10, R6);
+    b.add(R10, R10, R11);
+    b.add(R10, R10, R8);
+    b.li(R7, BUF + 24);
+    b.store_at(R6, R7, 0);
+    b.store_at(R11, R7, 8);
+    b.store_at(R8, R7, 16);
+    // Fan out to every subscriber.
+    b.li(R12, 0);
+    let fan = b.here();
+    b.li(R7, SUBFD);
+    b.li(R8, 8);
+    b.mul(R8, R12, R8);
+    b.add(R7, R7, R8);
+    b.load(R1, R7, 0);
+    b.li(R2, BUF + 24);
+    b.li(R3, 24);
+    b.trap(Sys::Write);
+    b.addi(R12, R12, 1);
+    b.li(R8, subs);
+    b.ltu(R9, R12, R8);
+    b.jnz(R9, fan);
+    b.compute(20);
+    b.addi(R5, R5, -1);
+    b.jnz(R5, top);
+    // Dump per-topic fan-out counts.
+    emit_open(&mut b, state_path);
+    b.li(R6, 0);
+    let dump = b.here();
+    b.li(R9, PAGE);
+    b.mul(R9, R6, R9);
+    b.li(R11, TABLE);
+    b.add(R9, R9, R11);
+    b.load(R8, R9, 0);
+    b.li(R7, DATA);
+    b.store_at(R6, R7, 0);
+    b.store_at(R8, R7, 8);
+    b.mov(R1, R4);
+    b.li(R2, DATA);
+    b.li(R3, 16);
+    b.trap(Sys::Write);
+    b.addi(R6, R6, 1);
+    b.li(R8, topics);
+    b.ltu(R9, R6, R8);
+    b.jnz(R9, dump);
+    b.mov(R1, R10);
+    b.trap(Sys::Exit);
+    b.build()
+}
+
+/// A chat publisher driving one traffic-DSL session: each message is
+/// `(gap, topic, value)`, unrolled; sends are one-way. Exits with the
+/// sum of `topic + value` over everything it published.
+pub fn chat_publisher(chan: &str, start_gap: u64, msgs: &[(u64, u64, u64)]) -> Program {
+    let mut b = ProgramBuilder::new("chat_publisher");
+    emit_open(&mut b, chan);
+    b.li(R10, 0);
+    b.compute(start_gap.min(u32::MAX as u64) as u32);
+    for &(gap, topic, value) in msgs {
+        b.compute(gap.min(u32::MAX as u64) as u32);
+        b.li(R7, BUF);
+        b.li(R6, topic);
+        b.store_at(R6, R7, 0);
+        b.add(R10, R10, R6);
+        b.li(R6, value);
+        b.store_at(R6, R7, 8);
+        b.add(R10, R10, R6);
+        b.mov(R1, R4);
+        b.li(R2, BUF);
+        b.li(R3, 16);
+        b.trap(Sys::Write);
+    }
+    b.mov(R1, R10);
+    b.trap(Sys::Exit);
+    b.build()
+}
+
+/// A chat subscriber: reads exactly `total` fan-out messages
+/// `[topic, seq, value]` and checks per-topic sequence contiguity —
+/// every topic's sequence numbers must arrive as 1, 2, 3, … with no
+/// gap, duplicate, or reordering; each violation bumps the high-bits
+/// counter. Combined with the fixed read count this pins staleness to
+/// zero at exit: the subscriber saw every message, exactly once, in
+/// per-topic order. The checksum sums `topic + seq + value`
+/// (pairing-invariant, so cross-topic interleaving cannot perturb it).
+pub fn chat_subscriber(chan: &str, total: u64) -> Program {
+    let mut b = ProgramBuilder::new("chat_subscriber");
+    emit_open(&mut b, chan);
+    b.li(R5, total);
+    b.li(R10, 0);
+    b.li(R13, 0); // contiguity violations
+    let top = b.here();
+    b.mov(R1, R4);
+    b.li(R2, BUF);
+    b.li(R3, 24);
+    b.trap(Sys::Read);
+    b.li(R7, BUF);
+    b.load(R6, R7, 0); // topic
+    b.load(R8, R7, 8); // seq
+    b.load(R9, R7, 16); // value
+    b.add(R10, R10, R6);
+    b.add(R10, R10, R8);
+    b.add(R10, R10, R9);
+    // last[topic] must be seq - 1.
+    b.li(R11, PAGE);
+    b.mul(R11, R6, R11);
+    b.li(R12, TABLE);
+    b.add(R11, R11, R12);
+    b.load(R12, R11, 0);
+    b.addi(R12, R12, 1);
+    b.sub(R12, R8, R12);
+    let ok = b.new_label();
+    b.jz(R12, ok);
+    b.addi(R13, R13, 1);
+    b.bind(ok);
+    b.store_at(R8, R11, 0);
+    b.addi(R5, R5, -1);
+    b.jnz(R5, top);
+    emit_checked_exit(&mut b);
+    b.build()
+}
+
+/// The ETL source: streams one traffic-DSL session's records
+/// (`(gap, value)` pairs, unrolled) into the pipeline, then the
+/// `u64::MAX` end-of-stream sentinel. Exits with the masked sum of the
+/// records sent.
+pub fn etl_source(chan: &str, start_gap: u64, records: &[(u64, u64)]) -> Program {
+    let mut b = ProgramBuilder::new("etl_source");
+    emit_open(&mut b, chan);
+    b.li(R10, 0);
+    b.compute(start_gap.min(u32::MAX as u64) as u32);
+    for &(gap, value) in records {
+        b.compute(gap.min(u32::MAX as u64) as u32);
+        b.li(R6, value);
+        b.li(R7, BUF);
+        b.store_at(R6, R7, 0);
+        b.add(R10, R10, R6);
+        b.mov(R1, R4);
+        b.li(R2, BUF);
+        b.li(R3, 8);
+        b.trap(Sys::Write);
+    }
+    b.li(R6, u64::MAX);
+    b.li(R7, BUF);
+    b.store_at(R6, R7, 0);
+    b.mov(R1, R4);
+    b.li(R2, BUF);
+    b.li(R3, 8);
+    b.trap(Sys::Write);
+    b.li(R7, CHECK_MASK);
+    b.and(R10, R10, R7);
+    b.mov(R1, R10);
+    b.trap(Sys::Exit);
+    b.build()
+}
+
+/// The ETL worker: consumes records from `input`, transforms each
+/// (`v * 3 + 7`), and forwards to `output` until the sentinel, which it
+/// forwards before exiting with the masked sum of transformed records.
+///
+/// Consumption is the poison oracle's peek-before-commit point: a
+/// poisoned record kills the worker *at the read*, before the
+/// transformed write escapes, so a quarantined-and-diverted record
+/// vanishes from the committed output wholly — never half-transformed —
+/// and the dead-letter ledger entry accounts for it exactly.
+pub fn etl_worker(input: &str, output: &str) -> Program {
+    let mut b = ProgramBuilder::new("etl_worker");
+    emit_open(&mut b, input);
+    b.mov(R11, R4);
+    emit_open(&mut b, output);
+    b.mov(R12, R4);
+    b.li(R10, 0);
+    let top = b.here();
+    b.mov(R1, R11);
+    b.li(R2, BUF);
+    b.li(R3, 8);
+    b.trap(Sys::Read);
+    b.li(R7, BUF);
+    b.load(R6, R7, 0);
+    let done = b.new_label();
+    b.li(R8, u64::MAX);
+    b.sub(R8, R6, R8);
+    b.jz(R8, done);
+    b.li(R8, 3);
+    b.mul(R6, R6, R8);
+    b.addi(R6, R6, 7);
+    b.add(R10, R10, R6);
+    b.li(R7, BUF + 8);
+    b.store_at(R6, R7, 0);
+    b.mov(R1, R12);
+    b.li(R2, BUF + 8);
+    b.li(R3, 8);
+    b.trap(Sys::Write);
+    b.compute(15);
+    b.jmp(top);
+    b.bind(done);
+    // Forward the sentinel so the logger terminates too.
+    b.mov(R1, R12);
+    b.li(R2, BUF);
+    b.li(R3, 8);
+    b.trap(Sys::Write);
+    b.li(R7, CHECK_MASK);
+    b.and(R10, R10, R7);
+    b.mov(R1, R10);
+    b.trap(Sys::Exit);
+    b.build()
+}
+
+/// The ETL logger: consumes transformed records from `input` and
+/// commits each to the `path` ledger (8 bytes per record, in arrival
+/// order) until the sentinel. Exits with the masked sum of committed
+/// records — the committed-output side of the conservation oracle.
+pub fn etl_logger(input: &str, path: &str) -> Program {
+    let mut b = ProgramBuilder::new("etl_logger");
+    emit_open(&mut b, input);
+    b.mov(R11, R4);
+    emit_open(&mut b, path);
+    b.mov(R12, R4);
+    b.li(R10, 0);
+    let top = b.here();
+    b.mov(R1, R11);
+    b.li(R2, BUF);
+    b.li(R3, 8);
+    b.trap(Sys::Read);
+    b.li(R7, BUF);
+    b.load(R6, R7, 0);
+    let done = b.new_label();
+    b.li(R8, u64::MAX);
+    b.sub(R8, R6, R8);
+    b.jz(R8, done);
+    b.add(R10, R10, R6);
+    b.mov(R1, R12);
+    b.li(R2, BUF);
+    b.li(R3, 8);
+    b.trap(Sys::Write);
+    b.jmp(top);
+    b.bind(done);
+    b.li(R7, CHECK_MASK);
+    b.and(R10, R10, R7);
+    b.mov(R1, R10);
+    b.trap(Sys::Exit);
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

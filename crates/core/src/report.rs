@@ -132,6 +132,25 @@ pub fn render(sys: &System) -> String {
             s.give_ups
         );
     }
+    // Dead letters likewise appear only when quarantine actually filed
+    // one, so fault-free reports stay byte-identical.
+    let letters = sys.world.dead_letter_records();
+    if !letters.is_empty() {
+        let _ = writeln!(
+            out,
+            "  dead letters: {} filed, {} diverted out of the stream",
+            letters.len(),
+            s.diverted_records
+        );
+        for (msg, dl) in &letters {
+            let how = if dl.diverted { "diverted" } else { "quarantined in place" };
+            let _ = writeln!(
+                out,
+                "    msg {} poisoned {} (record {:#x}): {}",
+                msg, dl.victim, dl.record, how
+            );
+        }
+    }
     out
 }
 
@@ -158,5 +177,19 @@ mod tests {
         for c in ["c0", "c1", "c2", "DOWN", "totals:", "bus:"] {
             assert!(r.contains(c), "missing {c} in:\n{r}");
         }
+        assert!(!r.contains("dead letters"), "fault-free report must omit dead letters");
+    }
+
+    #[test]
+    fn report_lists_diverted_dead_letters() {
+        let app = crate::apps::AppWorkload::etl(0xC3);
+        let mut b = SystemBuilder::new(4);
+        app.install(&mut b);
+        b.poison_at(VTime(3_200), 1);
+        let mut sys = b.build();
+        assert!(sys.run(VTime(5_000_000)));
+        let r = render(&sys);
+        assert!(r.contains("dead letters: 1 filed, 1 diverted"), "missing dead-letter line:\n{r}");
+        assert!(r.contains("diverted"), "missing diversion detail:\n{r}");
     }
 }

@@ -1,0 +1,395 @@
+//! The open-loop, seeded traffic-generator DSL (ROADMAP item 3).
+//!
+//! The paper's fault-tolerance claims are only as strong as the
+//! workloads that stress them. The fixed pingpong/bank/files programs
+//! exercise the mechanisms; they do not look like *load*. This module
+//! generates load shapes from a seed, entirely in integer arithmetic so
+//! the sim-determinism rules (D3/D4) hold by construction:
+//!
+//! * **heavy-tailed interarrivals** — a truncated geometric number of
+//!   doublings over a base gap, plus in-bucket jitter: most gaps are
+//!   short, a deterministic minority are long, like real user traffic;
+//! * **session churn** — sessions start staggered and run different op
+//!   counts, so the concurrent-session population rises and falls;
+//! * **diurnal ramps** — a phase table of rational multipliers applied
+//!   by elapsed schedule time, so load breathes over the run;
+//! * **key-popularity skew** — an integer Zipf-like sampler over a key
+//!   span, so some keys are hot and most are cold.
+//!
+//! The output is an [`OpTrace`]: a pure function of the
+//! [`TrafficSpec`], byte-serializable for fingerprinting. The `apps`
+//! module compiles traces into guest programs — the pacing gaps become
+//! `compute(gap)` instructions, so arrival times are baked into the
+//! workload itself (open loop: the schedule does not wait for replies,
+//! except where a protocol round-trip is the operation being paced).
+
+use auros_sim::DetRng;
+
+/// Heavy-tailed interarrival sampler: `gap = (base << k) + jitter`,
+/// where `k` is geometric with continue-probability `num/den`, capped
+/// at `cap` doublings, and the jitter is uniform within the bucket.
+///
+/// With `num/den = 1/2` the mean is ≈ `2.5 × base` while the tail
+/// reaches `base << cap` — a discrete stand-in for the Pareto shapes
+/// measured in real session traffic.
+#[derive(Clone, Debug)]
+pub struct HeavyTail {
+    /// Minimum gap, in compute ticks.
+    pub base: u64,
+    /// Numerator of the per-step continue probability.
+    pub num: u64,
+    /// Denominator of the per-step continue probability.
+    pub den: u64,
+    /// Maximum number of doublings (bounds the tail).
+    pub cap: u32,
+}
+
+impl HeavyTail {
+    /// Draws one gap.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let mut k = 0u32;
+        while k < self.cap && rng.chance(self.num, self.den) {
+            k += 1;
+        }
+        let lo = self.base.max(1) << k;
+        lo + rng.below(lo)
+    }
+}
+
+/// A diurnal ramp: rational load multipliers selected by elapsed
+/// schedule time. Phase `p` of the table applies to gaps scheduled in
+/// `[p·period, (p+1)·period)` (mod one full cycle); a factor above 1/1
+/// *stretches* gaps (off-peak), below 1/1 compresses them (peak).
+#[derive(Clone, Debug, Default)]
+pub struct Ramp {
+    /// Ticks per phase bucket. Zero disables the ramp.
+    pub period: u64,
+    /// `(num, den)` gap multipliers, one per phase.
+    pub factors: Vec<(u64, u64)>,
+}
+
+impl Ramp {
+    /// Scales `gap` by the factor of the phase `elapsed` falls in.
+    pub fn scale(&self, elapsed: u64, gap: u64) -> u64 {
+        if self.period == 0 || self.factors.is_empty() {
+            return gap;
+        }
+        let phase = ((elapsed / self.period) as usize) % self.factors.len();
+        let (num, den) = self.factors[phase];
+        (gap.saturating_mul(num) / den.max(1)).max(1)
+    }
+}
+
+/// Integer Zipf-like key sampler: rank `r` (0-based) carries weight
+/// `⌊SCALE / (r+1)^exponent⌋ + 1`; draws walk the cumulative table by
+/// binary search. `exponent = 0` degenerates to uniform.
+#[derive(Clone, Debug)]
+pub struct KeySkew {
+    cum: Vec<u64>,
+}
+
+impl KeySkew {
+    /// Weight scale: large enough that rank 63 at exponent 2 still
+    /// rounds to a distinct weight.
+    const SCALE: u64 = 1 << 16;
+
+    /// Builds the sampler over `span` keys.
+    pub fn new(span: u64, exponent: u32) -> KeySkew {
+        let mut cum = Vec::with_capacity(span.max(1) as usize);
+        let mut total = 0u64;
+        for r in 0..span.max(1) {
+            let mut w = Self::SCALE;
+            for _ in 0..exponent {
+                w /= r + 1;
+            }
+            total += w + 1;
+            cum.push(total);
+        }
+        KeySkew { cum }
+    }
+
+    /// Draws one key rank in `0..span` (hot ranks first).
+    pub fn draw(&self, rng: &mut DetRng) -> u64 {
+        let total = self.cum.last().copied().unwrap_or(1);
+        let t = rng.below(total);
+        self.cum.partition_point(|&c| c <= t) as u64
+    }
+}
+
+/// One generated operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Op {
+    /// Compute ticks to burn before issuing this op (open-loop pacing).
+    pub gap: u64,
+    /// Key rank within the session's span (0 = hottest).
+    pub key: u64,
+    /// Payload value; masked below any protocol sentinel.
+    pub value: u64,
+    /// Whether this op is a read (app-specific meaning).
+    pub read: bool,
+}
+
+/// One session's schedule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SessionTrace {
+    /// Compute ticks to burn before the first op (staggered start).
+    pub start_gap: u64,
+    /// The ops, in issue order.
+    pub ops: Vec<Op>,
+}
+
+/// A complete generated workload: one schedule per session.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpTrace {
+    /// Per-session schedules, in session order.
+    pub sessions: Vec<SessionTrace>,
+}
+
+impl OpTrace {
+    /// Total operations across every session.
+    pub fn total_ops(&self) -> u64 {
+        self.sessions.iter().map(|s| s.ops.len() as u64).sum()
+    }
+
+    /// Canonical byte serialization of the arrival stream — the object
+    /// the determinism property quantifies over: same spec ⇒ identical
+    /// bytes, different seeds ⇒ different bytes.
+    pub fn stream_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.sessions.len() as u64).to_le_bytes());
+        for s in &self.sessions {
+            out.extend_from_slice(&s.start_gap.to_le_bytes());
+            out.extend_from_slice(&(s.ops.len() as u64).to_le_bytes());
+            for op in &s.ops {
+                out.extend_from_slice(&op.gap.to_le_bytes());
+                out.extend_from_slice(&op.key.to_le_bytes());
+                out.extend_from_slice(&op.value.to_le_bytes());
+                out.push(op.read as u8);
+            }
+        }
+        out
+    }
+
+    /// FNV-1a fingerprint of [`OpTrace::stream_bytes`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.stream_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The generator spec: a declarative description of one load shape.
+///
+/// Build with [`TrafficSpec::new`] and the chained setters, then
+/// [`TrafficSpec::generate`]. Every field is plain data, so a spec is
+/// also a value the chaos sweep and the benches can embed and report.
+#[derive(Clone, Debug)]
+pub struct TrafficSpec {
+    /// Master seed; each session derives its own stream from it.
+    pub seed: u64,
+    /// Number of sessions.
+    pub sessions: u64,
+    /// Minimum ops per session (inclusive).
+    pub ops_min: u64,
+    /// Maximum ops per session (inclusive).
+    pub ops_max: u64,
+    /// Interarrival sampler.
+    pub arrivals: HeavyTail,
+    /// Uniform bound on session start gaps (0 = simultaneous starts).
+    pub start_spread: u64,
+    /// Keys in each session's span.
+    pub keys: u64,
+    /// Zipf exponent of the key-popularity skew.
+    pub skew_exponent: u32,
+    /// Diurnal ramp over elapsed schedule time.
+    pub ramp: Ramp,
+    /// Probability an op is a read, as `read_num / read_den`.
+    pub read_num: u64,
+    /// Denominator of the read probability.
+    pub read_den: u64,
+    /// Mask applied to generated values (keeps protocol sentinels free).
+    pub value_mask: u64,
+}
+
+impl TrafficSpec {
+    /// A spec with neutral defaults: 4 sessions of 12–20 ops, base gap
+    /// 300 with a 1/2-geometric tail capped at 5 doublings, 8 keys at
+    /// Zipf exponent 1, no ramp, 1/3 reads.
+    pub fn new(seed: u64) -> TrafficSpec {
+        TrafficSpec {
+            seed,
+            sessions: 4,
+            ops_min: 12,
+            ops_max: 20,
+            arrivals: HeavyTail { base: 300, num: 1, den: 2, cap: 5 },
+            start_spread: 0,
+            keys: 8,
+            skew_exponent: 1,
+            ramp: Ramp::default(),
+            read_num: 1,
+            read_den: 3,
+            value_mask: (1 << 48) - 1,
+        }
+    }
+
+    /// Sets the session count.
+    pub fn sessions(mut self, n: u64) -> TrafficSpec {
+        self.sessions = n;
+        self
+    }
+
+    /// Sets the per-session op count range (inclusive).
+    pub fn ops(mut self, min: u64, max: u64) -> TrafficSpec {
+        self.ops_min = min;
+        self.ops_max = max.max(min);
+        self
+    }
+
+    /// Sets the interarrival sampler.
+    pub fn pacing(mut self, base: u64, num: u64, den: u64, cap: u32) -> TrafficSpec {
+        self.arrivals = HeavyTail { base, num, den, cap };
+        self
+    }
+
+    /// Staggers session starts uniformly over `[0, spread)` ticks.
+    pub fn staggered(mut self, spread: u64) -> TrafficSpec {
+        self.start_spread = spread;
+        self
+    }
+
+    /// Sets the key span and popularity skew.
+    pub fn keyspace(mut self, keys: u64, exponent: u32) -> TrafficSpec {
+        self.keys = keys.max(1);
+        self.skew_exponent = exponent;
+        self
+    }
+
+    /// Installs a diurnal ramp: `factors` are `(num, den)` gap
+    /// multipliers, one per `period`-tick phase.
+    pub fn diurnal(mut self, period: u64, factors: &[(u64, u64)]) -> TrafficSpec {
+        self.ramp = Ramp { period, factors: factors.to_vec() };
+        self
+    }
+
+    /// Sets the read fraction to `num / den`.
+    pub fn reads(mut self, num: u64, den: u64) -> TrafficSpec {
+        self.read_num = num;
+        self.read_den = den.max(1);
+        self
+    }
+
+    /// Generates the trace — a pure function of the spec.
+    pub fn generate(&self) -> OpTrace {
+        let mut root = DetRng::seed(self.seed ^ 0x7472_6166_6669_6321); // "traffic!"
+        let skew = KeySkew::new(self.keys, self.skew_exponent);
+        let mut sessions = Vec::with_capacity(self.sessions as usize);
+        for s in 0..self.sessions {
+            let mut rng = root.split(s);
+            let start_gap = if self.start_spread == 0 { 0 } else { rng.below(self.start_spread) };
+            let n = rng.range(self.ops_min, self.ops_max + 1);
+            let mut elapsed = start_gap;
+            let mut ops = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                let raw = self.arrivals.sample(&mut rng);
+                let gap = self.ramp.scale(elapsed, raw);
+                elapsed += gap;
+                let key = skew.draw(&mut rng);
+                let value = mix3(self.seed, s, i) & self.value_mask;
+                let read = rng.chance(self.read_num, self.read_den);
+                ops.push(Op { gap, key, value, read });
+            }
+            sessions.push(SessionTrace { start_gap, ops });
+        }
+        OpTrace { sessions }
+    }
+}
+
+/// SplitMix64-style value mixer: distinct inputs give well-spread,
+/// deterministic values without touching the arrival rng's stream.
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(c.wrapping_add(1).wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_spec_generates_identical_streams() {
+        let spec = TrafficSpec::new(42).staggered(2_000).diurnal(5_000, &[(1, 1), (2, 1)]);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.stream_bytes(), b.stream_bytes());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn distinct_seeds_generate_distinct_streams() {
+        let a = TrafficSpec::new(1).generate();
+        let b = TrafficSpec::new(2).generate();
+        assert_ne!(a.stream_bytes(), b.stream_bytes());
+    }
+
+    #[test]
+    fn heavy_tail_respects_base_and_cap() {
+        let ht = HeavyTail { base: 100, num: 1, den: 2, cap: 4 };
+        let mut rng = DetRng::seed(7);
+        let mut max = 0;
+        for _ in 0..10_000 {
+            let g = ht.sample(&mut rng);
+            assert!(g >= 100, "gap below base: {g}");
+            assert!(g < (100 << 4) * 2, "gap beyond capped bucket: {g}");
+            max = max.max(g);
+        }
+        assert!(max >= 100 << 4, "tail never reached the cap bucket");
+    }
+
+    #[test]
+    fn key_skew_prefers_low_ranks() {
+        let skew = KeySkew::new(8, 1);
+        let mut rng = DetRng::seed(11);
+        let mut counts = [0u64; 8];
+        for _ in 0..20_000 {
+            counts[skew.draw(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[7] * 2, "rank 0 not hot: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "a rank was never drawn: {counts:?}");
+    }
+
+    #[test]
+    fn ramp_stretches_and_compresses_by_phase() {
+        let r = Ramp { period: 100, factors: vec![(2, 1), (1, 2)] };
+        assert_eq!(r.scale(0, 40), 80); // phase 0 stretches
+        assert_eq!(r.scale(150, 40), 20); // phase 1 compresses
+        assert_eq!(r.scale(250, 40), 80); // wraps around
+    }
+
+    #[test]
+    fn session_churn_varies_starts_and_lengths() {
+        let t = TrafficSpec::new(9).sessions(6).ops(5, 25).staggered(4_000).generate();
+        let starts: Vec<u64> = t.sessions.iter().map(|s| s.start_gap).collect();
+        let lens: Vec<usize> = t.sessions.iter().map(|s| s.ops.len()).collect();
+        assert!(starts.iter().any(|&s| s != starts[0]), "all starts equal: {starts:?}");
+        assert!(lens.iter().any(|&l| l != lens[0]), "all lengths equal: {lens:?}");
+    }
+
+    #[test]
+    fn values_stay_under_the_mask() {
+        let t = TrafficSpec::new(3).generate();
+        for s in &t.sessions {
+            for op in &s.ops {
+                assert!(op.value < (1 << 48));
+            }
+        }
+    }
+}

@@ -201,6 +201,20 @@ pub struct Config {
     /// Supervision: consecutive deaths on the same message before the
     /// message is quarantined into the dead-letter ledger as poison.
     pub poison_after: u32,
+    /// Supervision: when `true`, quarantining a poisoned message also
+    /// *diverts* it — the saved backup copies of the message are purged,
+    /// so the victim's next reincarnation replays past it instead of
+    /// re-consuming it. This is the dead-letter-queue semantic
+    /// application pipelines want (a showstopper record is removed from
+    /// the stream and accounted in the ledger, never committed
+    /// downstream). `false` (the default, and the historical behavior)
+    /// keeps the quarantined message deliverable, so runs remain
+    /// byte-identical with their fault-free twin. Diversion is safe
+    /// because poison kills at the read, before any post-read send
+    /// escapes (§5.4's suppression accounting never covers the poisoned
+    /// position), so replay up to that point is exact and divergence
+    /// after it is ordinary, supervised recovery.
+    pub divert_quarantined: bool,
     /// Fleet scaling: clusters per bus segment. `0` (the default) keeps
     /// the paper's single broadcast domain — required for ≤ 32 clusters
     /// to stay byte-identical with every historical run. A non-zero
@@ -232,6 +246,7 @@ impl Default for Config {
             restart_window: Dur(400_000),
             restart_backoff: Dur(500),
             poison_after: 3,
+            divert_quarantined: false,
             bus_segment_size: 0,
         }
     }

@@ -40,4 +40,5 @@ pub use process::{BlockState, Pcb, ProcessBody, ProcessState};
 pub use routing::{BackupEntry, Entry, Queued, RoutingTable};
 pub use server::{Device, SendOnEnd, ServerCtx, ServerLogic};
 pub use stats::{ClusterStats, WorldStats};
+pub use supervise::DeadLetter;
 pub use world::{Event, World};

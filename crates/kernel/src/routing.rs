@@ -548,6 +548,25 @@ impl RoutingTable {
         self.backup_by_owner.get(&pid).map(|s| s.iter().copied().collect()).unwrap_or_default()
     }
 
+    /// Removes every saved copy of message `msg` from `pid`'s backup
+    /// entries' replay queues (dead-letter diversion): the owner's next
+    /// reincarnation rolls forward past the purged position instead of
+    /// re-consuming it. The write-count suppression ledgers are
+    /// untouched — the purged message was *inbound*, and its sender's
+    /// duplicate-send accounting does not depend on the receiver's
+    /// saved copy. Returns how many copies were removed.
+    pub fn purge_backup_msg(&mut self, pid: Pid, msg: auros_bus::MsgId) -> usize {
+        let mut removed = 0;
+        for end in self.backup_ends_of(pid) {
+            if let Some(be) = self.backup.get_mut(&end) {
+                let before = be.queue.len();
+                be.queue.retain(|q| q.msg.id != msg);
+                removed += before - be.queue.len();
+            }
+        }
+        removed
+    }
+
     /// Checks the owner index against a full recomputation from the
     /// maps; returns the first divergence found. Used by tests and the
     /// determinism properties to guard against index/map drift.

@@ -159,11 +159,11 @@ impl<'a> ServerCtx<'a> {
     pub fn device_as<T: Any>(&mut self) -> &mut T {
         self.device
             .as_mut()
-            // auros-lint: allow(D5) -- documented panic contract: a missing device is a wiring bug caught at world construction, not a runtime fault
+            // auros-lint: allow(D5) -- documented panic contract (see doc above): device attachment is fixed at spawn_server time and never changes; an Option return would force every handler to invent a no-op arm for a state no fault plan can create, silently dropping device work instead of failing loudly at the wiring bug
             .expect("server has no attached device")
             .as_any_mut()
             .downcast_mut::<T>()
-            // auros-lint: allow(D5) -- documented panic contract: a mistyped device is a wiring bug caught at world construction, not a runtime fault
+            // auros-lint: allow(D5) -- documented panic contract (see doc above): the concrete device type is chosen by the same builder call that chooses the server logic, so a mismatch is a compile-site pairing bug; it reproduces on the first message of any run, long before a fault plan is in play
             .expect("device type mismatch")
     }
 }

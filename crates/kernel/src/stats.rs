@@ -130,6 +130,10 @@ pub struct WorldStats {
     pub poison_kills: u64,
     /// Poisoned messages moved into the dead-letter ledger.
     pub quarantined_poisons: u64,
+    /// Quarantined messages whose saved backup copies were purged
+    /// ([`crate::Config::divert_quarantined`]): the reincarnation rolls
+    /// forward past them instead of re-consuming them.
+    pub diverted_records: u64,
     /// Process reincarnations granted by the supervisor (partial-failure
     /// promotions; cluster-crash promotions are accounted separately).
     pub supervised_restarts: u64,
@@ -140,6 +144,12 @@ pub struct WorldStats {
     pub give_ups: u64,
     /// Deepest backup message queue observed anywhere.
     pub max_backup_queue_depth: u64,
+    /// Power-of-two histogram of completed blocked-wait intervals,
+    /// fleet-wide: bucket `b` counts waits whose tick count has highest
+    /// set bit `b` (zero-tick waits land in bucket 0; the top bucket
+    /// saturates). Fed from the single site that closes wait intervals,
+    /// so it agrees exactly with the per-process wait ledgers.
+    pub wait_hist: [u64; 32],
     /// One entry per cluster crash, in injection order.
     pub recoveries: Vec<RecoveryRecord>,
     /// Virtual time of the last processed event.
@@ -175,6 +185,14 @@ impl WorldStats {
     /// Total transient wire faults injected, of every kind.
     pub fn wire_faults(&self) -> u64 {
         self.wire_drops + self.wire_corruptions + self.wire_duplicates + self.wire_delays
+    }
+
+    /// Records one completed blocked-wait interval into the
+    /// power-of-two latency histogram.
+    pub(crate) fn record_wait(&mut self, d: Dur) {
+        let t = d.as_ticks();
+        let b = if t == 0 { 0 } else { (63 - t.leading_zeros() as usize).min(31) };
+        self.wait_hist[b] += 1;
     }
 
     /// Opens a recovery episode for a crash of `dead` at `now`.
@@ -233,6 +251,7 @@ impl WorldStats {
             ("kernel.injected_poisons", self.injected_poisons),
             ("kernel.poison_kills", self.poison_kills),
             ("kernel.quarantined_poisons", self.quarantined_poisons),
+            ("kernel.diverted_records", self.diverted_records),
             ("kernel.supervised_restarts", self.supervised_restarts),
             ("kernel.backoff_ticks", self.backoff_ticks),
             ("kernel.give_ups", self.give_ups),

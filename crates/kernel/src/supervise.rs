@@ -24,6 +24,22 @@ use auros_sim::{Dur, Loc, TraceKind, VTime};
 
 use crate::world::{Event, World};
 
+/// One quarantined message's ledger entry: who it killed, what it
+/// carried, and whether quarantine also diverted it out of the stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeadLetter {
+    /// The process the message repeatedly killed.
+    pub victim: Pid,
+    /// The first payload word of the poisoned data message — the
+    /// *record*, for application dead-letter accounting (a pipeline's
+    /// conservation oracle matches this against its input multiset).
+    pub record: u64,
+    /// Whether the saved backup copies were purged
+    /// ([`crate::Config::divert_quarantined`]), so the reincarnation
+    /// replays past the message instead of re-consuming it.
+    pub diverted: bool,
+}
+
 /// Supervision bookkeeping, owned by the [`World`].
 #[derive(Debug, Default)]
 pub struct Supervisor {
@@ -34,8 +50,8 @@ pub struct Supervisor {
     sticky: BTreeSet<u64>,
     /// Consecutive deaths each poisoned message has caused.
     deaths: BTreeMap<u64, u32>,
-    /// Quarantined messages: id → the process they repeatedly killed.
-    dead_letters: BTreeMap<u64, Pid>,
+    /// Quarantined messages: id → ledger entry.
+    dead_letters: BTreeMap<u64, DeadLetter>,
     /// Reincarnation times per process, pruned to the sliding window.
     restarts: BTreeMap<Pid, Vec<VTime>>,
 }
@@ -65,6 +81,14 @@ impl World {
     /// Messages quarantined into the dead-letter ledger.
     pub fn dead_letter_count(&self) -> usize {
         self.supervision.dead_letters.len()
+    }
+
+    /// The dead-letter ledger: `(message id, entry)` in id order. The
+    /// application oracles read this to prove conservation — every
+    /// quarantined record accounted, none duplicated into committed
+    /// output.
+    pub fn dead_letter_records(&self) -> Vec<(u64, DeadLetter)> {
+        self.supervision.dead_letters.iter().map(|(id, dl)| (*id, *dl)).collect()
     }
 
     /// Decides, at consume time, whether `q` poisons `pid`. Servers are
@@ -100,7 +124,10 @@ impl World {
     /// message once it has killed `poison_after` consecutive
     /// reincarnations, and kill the consumer through the ordinary
     /// partial-failure path (§7.10.3) so recovery machinery is shared.
-    pub(crate) fn poison_kill(&mut self, cid: ClusterId, pid: Pid, msg: MsgId) {
+    ///
+    /// `record` is the message's first payload word, captured into the
+    /// dead-letter ledger for application-level conservation oracles.
+    pub(crate) fn poison_kill(&mut self, cid: ClusterId, pid: Pid, msg: MsgId, record: u64) {
         let now = self.now();
         self.trace.emit(
             now,
@@ -115,7 +142,32 @@ impl World {
         };
         if deaths >= self.cfg.poison_after {
             self.supervision.sticky.remove(&msg.0);
-            self.supervision.dead_letters.insert(msg.0, pid);
+            // Dead-letter diversion (opt-in): purge the saved backup
+            // copies so the reincarnation rolls forward *past* the
+            // poisoned message. Safe because the poison killed at the
+            // read — no send after the poisoned position ever escaped,
+            // so §5.4's suppression accounting is unaffected and the
+            // divergence downstream is ordinary supervised recovery.
+            let diverted = if self.cfg.divert_quarantined {
+                let mut purged = 0;
+                for c in self.clusters.iter_mut().filter(|c| c.alive) {
+                    purged += c.routing.purge_backup_msg(pid, msg);
+                }
+                if purged > 0 {
+                    self.stats.diverted_records += 1;
+                    self.trace.emit(
+                        now,
+                        Loc::Cluster(cid.0),
+                        TraceKind::SupervisionDivert { pid: pid.0, msg: msg.0 },
+                    );
+                }
+                purged > 0
+            } else {
+                false
+            };
+            self.supervision
+                .dead_letters
+                .insert(msg.0, DeadLetter { victim: pid, record, diverted });
             self.stats.quarantined_poisons += 1;
             self.trace.emit(
                 now,

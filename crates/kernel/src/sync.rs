@@ -112,7 +112,9 @@ impl World {
         }
 
         // Part two: build and enqueue the sync message.
-        let record = self.build_sync_record(cid, pid, backup_cluster);
+        let Some(record) = self.build_sync_record(cid, pid, backup_cluster) else {
+            return;
+        };
         let mut targets = vec![(backup_cluster, DeliveryTag::Kernel)];
         if is_user {
             // The sync message also goes to the page server and its
@@ -144,12 +146,18 @@ impl World {
         }
     }
 
+    /// Builds the sync record for `pid`, or `None` if the process is no
+    /// longer resident in `cid` — the caller then skips the sync rather
+    /// than panicking mid-wave. (Its sole caller, `perform_sync`,
+    /// returns early unless the pid is live, so the `None` arm is pure
+    /// defence; the drained read counts belong to a gone process and
+    /// are discarded with it.)
     fn build_sync_record(
         &mut self,
         cid: ClusterId,
         pid: Pid,
         backup_cluster: ClusterId,
-    ) -> SyncRecord {
+    ) -> Option<SyncRecord> {
         let ci = cid.0 as usize;
         // Collect per-end read counts and residual suppression, resetting
         // the former (§5.2). Walks the dirty/suppressed indexes, not the
@@ -158,8 +166,7 @@ impl World {
         // ends between syncs.
         let reads = self.clusters[ci].routing.drain_dirty_reads(pid);
         let residual = self.clusters[ci].routing.residual_suppress_of(pid);
-        // auros-lint: allow(D5) -- invariant: sole caller perform_sync returns early unless pid is live in this cluster
-        let pcb = self.clusters[ci].procs.get_mut(&pid).expect("caller checked");
+        let pcb = self.clusters[ci].procs.get_mut(&pid)?;
         pcb.sync_seq += 1;
         let sync_seq = pcb.sync_seq;
         let closed = std::mem::take(&mut pcb.closed_since_sync);
@@ -187,7 +194,7 @@ impl World {
         } else {
             None
         };
-        SyncRecord {
+        Some(SyncRecord {
             pid,
             sync_seq,
             image,
@@ -196,7 +203,7 @@ impl World {
             residual_suppress: residual,
             closed,
             rebuild,
-        }
+        })
     }
 
     /// Builds the full channel table (and, after promotions, the saved

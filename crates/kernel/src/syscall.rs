@@ -397,7 +397,18 @@ impl World {
         // any sync can cover it — so every reincarnation re-reads the
         // same message and dies again until quarantine.
         if self.poison_strikes(cid, pid, &q) {
-            self.poison_kill(cid, pid, q.msg.id);
+            // Capture the record word for the dead-letter ledger: the
+            // first 8 payload bytes of the (necessarily Data) message.
+            let record = match &q.msg.payload {
+                Payload::Data(bytes) => {
+                    let mut word = [0u8; 8];
+                    let n = bytes.len().min(8);
+                    word[..n].copy_from_slice(&bytes.as_slice()[..n]);
+                    u64::from_le_bytes(word)
+                }
+                _ => 0,
+            };
+            self.poison_kill(cid, pid, q.msg.id, record);
             return None;
         }
         Some(q)

@@ -1427,6 +1427,7 @@ impl World {
     pub(crate) fn wake(&mut self, cid: ClusterId, pid: Pid) {
         let now = self.now();
         let c = self.cluster_mut(cid);
+        let mut closed_wait = None;
         if let Some(pcb) = c.procs.get_mut(&pid) {
             if pcb.is_dead() || pcb.state == ProcessState::Running {
                 return;
@@ -1438,12 +1439,18 @@ impl World {
                     pcb.total_wait += d;
                     pcb.waits += 1;
                     pcb.max_wait = pcb.max_wait.max(d);
+                    closed_wait = Some(d);
                 }
             }
             pcb.state = ProcessState::Runnable;
             c.make_runnable(pid);
-            self.try_dispatch(cid);
+        } else {
+            return;
         }
+        if let Some(d) = closed_wait {
+            self.stats.record_wait(d);
+        }
+        self.try_dispatch(cid);
     }
 
     fn on_wake(&mut self, cid: ClusterId, pid: Pid) {

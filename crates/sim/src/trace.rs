@@ -622,6 +622,14 @@ pub enum TraceKind {
         /// Restarts spent inside the window before giving up.
         restarts: u64,
     },
+    /// A quarantined message was diverted: its saved backup copies were
+    /// purged, so the next reincarnation rolls forward past it.
+    SupervisionDivert {
+        /// The repeatedly killed process.
+        pid: u64,
+        /// The diverted message.
+        msg: u64,
+    },
 }
 
 impl TraceKind {
@@ -671,7 +679,8 @@ impl TraceKind {
             | SupervisionRestart { .. }
             | SupervisionPoisonKill { .. }
             | SupervisionQuarantine { .. }
-            | SupervisionGiveUp { .. } => TraceCategory::Crash,
+            | SupervisionGiveUp { .. }
+            | SupervisionDivert { .. } => TraceCategory::Crash,
             SignalKilled { .. } | SignalHandling { .. } => TraceCategory::Signal,
         }
     }
@@ -742,6 +751,7 @@ impl TraceKind {
             SupervisionPoisonKill { pid, msg } => (46, [pid, msg, 0, 0]),
             SupervisionQuarantine { pid, msg, deaths } => (47, [pid, msg, deaths, 0]),
             SupervisionGiveUp { pid, restarts } => (48, [pid, restarts, 0, 0]),
+            SupervisionDivert { pid, msg } => (49, [pid, msg, 0, 0]),
         };
         h = fold(h, words.0);
         for w in words.1 {
@@ -889,6 +899,9 @@ impl fmt::Display for TraceKind {
             ),
             SupervisionGiveUp { pid, restarts } => {
                 write!(f, "restart budget exhausted after {restarts} restarts; p{pid} abandoned")
+            }
+            SupervisionDivert { pid, msg } => {
+                write!(f, "MsgId({msg}) diverted: saved copies purged, p{pid} replays past it")
             }
         }
     }
