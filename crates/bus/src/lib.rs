@@ -30,7 +30,7 @@ pub mod proto;
 pub mod schedule;
 
 pub use bytes::{payload_allocs, SharedBytes};
-pub use fabric::BusFabric;
+pub use fabric::{grant_horizon, partition_of, BusFabric};
 pub use frame::{DeliveryTag, Frame, Message, MsgId};
 pub use ids::{ChannelName, ClusterId, EntryId, Fd, Pid, Sig};
 pub use link::{FrameClass, LinkLedger};

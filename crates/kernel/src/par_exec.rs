@@ -1,0 +1,137 @@
+//! The slice-runner seam: how the world hands VM quanta to workers.
+//!
+//! A user process's quantum is the simulator's dominant compute and its
+//! one *sealed* computation: `Machine::run(fuel)` reads and writes only
+//! the machine it is given. The world therefore parallelizes exactly
+//! this — it reserves the quantum-end event's place in the global order
+//! (see [`auros_sim::EventQueue::reserve`]), lends the machine to a
+//! [`SliceRunner`], and keeps dispatching. The runner returns each
+//! machine with its exit and fuel used; the world commits the
+//! quantum-end at the reserved sequence number, so the merged event
+//! stream is byte-identical to the sequential run no matter how many
+//! workers raced.
+//!
+//! This module defines only the *trait* and its threadless reference
+//! implementation. `auros-kernel` is a deterministic crate under the
+//! auros-lint D2/D3 boundary — no `std::thread`, no channels — so the
+//! threaded runner lives in the host-classified `auros-par` crate and is
+//! injected from outside (tests, benches, the CLI `--workers` flag).
+
+use auros_vm::{Exit, Machine};
+
+/// A VM quantum ready to execute: the lent machine plus everything the
+/// slice needs. `job` is the reserved event sequence number — globally
+/// unique, allocated at the sequential program point, and the key under
+/// which the result is merged back.
+pub struct SliceJob {
+    /// Reserved event seq; doubles as the deterministic job id.
+    pub job: u64,
+    /// The machine, owned by the worker for the slice's duration.
+    pub machine: Box<Machine>,
+    /// Fuel budget for the slice (the scheduler quantum).
+    pub fuel: u64,
+    /// Placement hint (bus-segment-derived partition). Affects wall-clock
+    /// locality only, never results.
+    pub affinity: u32,
+}
+
+/// A finished slice: the machine comes home with its exit and the fuel
+/// actually burned.
+pub struct SliceDone {
+    /// The job id this result answers.
+    pub job: u64,
+    /// The machine, returned to the coordinator.
+    pub machine: Box<Machine>,
+    /// Why the slice stopped.
+    pub exit: Exit,
+    /// Fuel consumed (≤ the budget).
+    pub used: u64,
+}
+
+/// Something that executes [`SliceJob`]s. Implementations may run them
+/// on this thread, on a pool, or anywhere else — the contract is only
+/// that every submitted job is eventually returned by `collect`, exactly
+/// once, with `machine.run(fuel)`'s result.
+pub trait SliceRunner {
+    /// Accepts a job for execution.
+    fn submit(&mut self, job: SliceJob);
+
+    /// Returns finished slices for exactly the requested job ids,
+    /// blocking until all of them are available. Results are appended to
+    /// `out` in ascending job order (the deterministic merge order).
+    ///
+    /// `jobs` is always a subset of the ids submitted and not yet
+    /// collected.
+    fn collect(&mut self, jobs: &[u64], out: &mut Vec<SliceDone>);
+
+    /// How many workers execute concurrently (0 = inline/sequential).
+    fn workers(&self) -> usize;
+}
+
+/// The threadless reference runner: executes every slice inline at
+/// `submit` time. Exists so the deferred-commit machinery can be tested
+/// end-to-end inside the deterministic crates, and as the executable
+/// spec threaded runners are checked against.
+#[derive(Default)]
+pub struct SeqRunner {
+    done: std::collections::BTreeMap<u64, SliceDone>,
+}
+
+impl SeqRunner {
+    /// A new inline runner.
+    pub fn new() -> SeqRunner {
+        SeqRunner::default()
+    }
+}
+
+impl SliceRunner for SeqRunner {
+    fn submit(&mut self, mut job: SliceJob) {
+        let (exit, used) = job.machine.run(job.fuel);
+        let done = SliceDone { job: job.job, machine: job.machine, exit, used };
+        self.done.insert(job.job, done);
+    }
+
+    fn collect(&mut self, jobs: &[u64], out: &mut Vec<SliceDone>) {
+        let mut ids: Vec<u64> = jobs.to_vec();
+        ids.sort_unstable();
+        for id in ids {
+            let done = self.done.remove(&id).expect("collect of unsubmitted job");
+            out.push(done);
+        }
+    }
+
+    fn workers(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auros_vm::ProgramBuilder;
+
+    fn machine() -> Box<Machine> {
+        Box::new(Machine::new(ProgramBuilder::new("slice").build()))
+    }
+
+    #[test]
+    fn seq_runner_round_trips_in_job_order() {
+        let mut r = SeqRunner::new();
+        r.submit(SliceJob { job: 9, machine: machine(), fuel: 10, affinity: 0 });
+        r.submit(SliceJob { job: 4, machine: machine(), fuel: 10, affinity: 1 });
+        let mut out = Vec::new();
+        r.collect(&[9, 4], &mut out);
+        assert_eq!(out.iter().map(|d| d.job).collect::<Vec<_>>(), vec![4, 9]);
+        for d in &out {
+            assert_eq!(d.exit, Exit::Halted, "empty program halts immediately");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsubmitted")]
+    fn collecting_unknown_job_panics() {
+        let mut r = SeqRunner::new();
+        let mut out = Vec::new();
+        r.collect(&[1], &mut out);
+    }
+}

@@ -75,12 +75,30 @@ pub fn finish_workspace(analyses: Vec<FileAnalysis>) -> WorkspaceReport {
 /// Lints every `.rs` file under `root` (a workspace checkout).
 pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
     let mut analyses = Vec::new();
+    let mut h1 = Vec::new();
     for path in walk::collect_rs_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path);
         let class = walk::classify(rel);
-        let src = std::fs::read_to_string(&path)?;
         let label = rel.to_string_lossy().replace('\\', "/");
+        // H1: the threaded slice runner must stay outside the
+        // deterministic zone (see `rules::RULES`). Path classification
+        // is the only place this can be judged, so it is checked here
+        // rather than in the token rules.
+        if label.starts_with("crates/par/src") && class == CrateClass::Deterministic {
+            h1.push(Diagnostic {
+                file: label.clone(),
+                line: 1,
+                rule: "H1",
+                message: "slice-executor file classified sim-deterministic; \
+                          the threaded runner must remain host-side"
+                    .to_string(),
+            });
+        }
+        let src = std::fs::read_to_string(&path)?;
         analyses.push(analyze_source(&label, class, &src));
     }
-    Ok(finish_workspace(analyses))
+    let mut report = finish_workspace(analyses);
+    report.diagnostics.extend(h1);
+    report.diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
 }

@@ -210,6 +210,23 @@ over the protected enums must enumerate variants (grouping with `|`\n\
 is fine); a genuinely-uniform default needs a waiver saying why.",
     },
     RuleInfo {
+        id: "H1",
+        title: "slice-executor crate must be host-classified",
+        explain: "H1 — `crates/par/src` (the threaded slice runner) must classify as\n\
+host-side, never sim-deterministic.\n\
+\n\
+Parallel execution preserves determinism by construction: worker\n\
+threads only ever run pure `Machine::run` slices they own outright,\n\
+and the kernel merges results at `(virtual time, seq)` positions\n\
+reserved before the hand-off. That argument holds precisely because\n\
+the threaded runner lives *outside* the deterministic zone — D2/D3\n\
+keep `std::thread`, `mpsc`, and wall-clock reads out of sim crates,\n\
+and the runner is where they are allowed to live. Classifying the\n\
+executor as deterministic (say, by adding `par` to `DET_CRATES`)\n\
+would be self-contradictory: the zone would contain threads, and\n\
+every D-rule guarantee about replay equivalence would be vacuous.",
+    },
+    RuleInfo {
         id: "W0",
         title: "malformed waiver comment",
         explain: "W0 — a comment contains the `auros-lint:` marker but does not parse\n\

@@ -1,0 +1,186 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Host-side threaded slice runner.
+//!
+//! This crate is the *only* place in the workspace where OS threads
+//! touch simulation state, and it sits strictly on the host side of the
+//! auros-lint D2/D3 boundary (the lint's workspace walk asserts the
+//! classification; `parallel_safety.json` certifies the deterministic
+//! side it plugs into). The safety story is ownership, not
+//! synchronization: a worker owns each [`Machine`] outright for the
+//! duration of one slice — no shared state, no locks around simulation
+//! data — and the kernel's merge ledger puts results back in reserved
+//! `(virtual time, seq)` order, so scheduling jitter is unobservable.
+//! `tests/par_equiv.rs` holds this to byte-identical equivalence with
+//! the sequential run as a tier-1 invariant.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use auros_kernel::{SliceDone, SliceJob, SliceRunner};
+use auros_vm::Machine;
+
+/// One slice shipped to a worker: everything [`SliceJob`] carries except
+/// the affinity hint, which the router consumed.
+struct Shipped {
+    job: u64,
+    machine: Box<Machine>,
+    fuel: u64,
+}
+
+/// Executes VM slices on a fixed pool of worker threads.
+///
+/// Jobs are routed to workers by their affinity hint (bus-segment
+/// partition), so clusters sharing a broadcast domain stay on one
+/// worker's cache. Results funnel through a single channel into a
+/// buffer; [`SliceRunner::collect`] blocks until every requested job has
+/// come home and returns them in ascending job order — the order the
+/// kernel commits them, whatever order the threads finished in.
+pub struct ThreadedSliceRunner {
+    to_worker: Vec<Sender<Shipped>>,
+    results: Receiver<SliceDone>,
+    ready: BTreeMap<u64, SliceDone>,
+    handles: Vec<JoinHandle<()>>,
+    busy: Arc<AtomicU64>,
+    /// Round-robin cursor used when a job carries no usable affinity.
+    next: usize,
+}
+
+impl ThreadedSliceRunner {
+    /// Spawns `workers` threads (at least 1).
+    pub fn new(workers: usize) -> ThreadedSliceRunner {
+        let n = workers.max(1);
+        let (done_tx, done_rx) = channel::<SliceDone>();
+        let busy = Arc::new(AtomicU64::new(0));
+        let mut to_worker = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = channel::<Shipped>();
+            let done = done_tx.clone();
+            let busy = Arc::clone(&busy);
+            let handle = std::thread::Builder::new()
+                .name(format!("auros-slice-{i}"))
+                .spawn(move || {
+                    while let Ok(mut s) = rx.recv() {
+                        let t0 = std::time::Instant::now();
+                        let (exit, used) = s.machine.run(s.fuel);
+                        busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let d = SliceDone { job: s.job, machine: s.machine, exit, used };
+                        if done.send(d).is_err() {
+                            return; // Coordinator gone; nothing to report to.
+                        }
+                    }
+                })
+                .expect("spawn slice worker");
+            to_worker.push(tx);
+            handles.push(handle);
+        }
+        ThreadedSliceRunner {
+            to_worker,
+            results: done_rx,
+            ready: BTreeMap::new(),
+            handles,
+            busy,
+            next: 0,
+        }
+    }
+
+    /// A shared handle to the pool's cumulative busy time: wall
+    /// nanoseconds spent inside `Machine::run` across all workers.
+    /// Survives the runner (read it after the simulation consumed the
+    /// boxed runner) — benchmarks use it to show how much execution left
+    /// the coordinator thread even where host cores can't express the
+    /// offload as wall-clock speedup.
+    pub fn busy_nanos_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.busy)
+    }
+}
+
+impl SliceRunner for ThreadedSliceRunner {
+    fn submit(&mut self, job: SliceJob) {
+        let n = self.to_worker.len();
+        let w = (job.affinity as usize) % n;
+        // Spread ties: if everything hashes to one partition (tiny
+        // fleets), fall back to round-robin so the pool still fills.
+        let w = if n > 1 && job.affinity == u32::MAX {
+            self.next = (self.next + 1) % n;
+            self.next
+        } else {
+            w
+        };
+        let shipped = Shipped { job: job.job, machine: job.machine, fuel: job.fuel };
+        self.to_worker[w].send(shipped).expect("slice worker died");
+    }
+
+    fn collect(&mut self, jobs: &[u64], out: &mut Vec<SliceDone>) {
+        let mut want: Vec<u64> = jobs.to_vec();
+        want.sort_unstable();
+        // Count down instead of rescanning `want` per arrival — batches
+        // run to fleet width, and a rescan per recv would be quadratic.
+        let mut missing = want.iter().filter(|j| !self.ready.contains_key(j)).count();
+        while missing > 0 {
+            let d = self.results.recv().expect("all slice workers died");
+            if want.binary_search(&d.job).is_ok() {
+                missing -= 1;
+            }
+            self.ready.insert(d.job, d);
+        }
+        for j in want {
+            out.push(self.ready.remove(&j).expect("just checked"));
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for ThreadedSliceRunner {
+    fn drop(&mut self) {
+        self.to_worker.clear(); // Hang up; workers exit their recv loops.
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auros_vm::{Exit, ProgramBuilder};
+
+    fn machine() -> Box<Machine> {
+        Box::new(Machine::new(ProgramBuilder::new("slice").build()))
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let mut r = ThreadedSliceRunner::new(4);
+        assert_eq!(r.workers(), 4);
+        for job in [9u64, 2, 5, 11, 3] {
+            r.submit(SliceJob { job, machine: machine(), fuel: 64, affinity: job as u32 });
+        }
+        let mut out = Vec::new();
+        r.collect(&[9, 2, 5], &mut out);
+        assert_eq!(out.iter().map(|d| d.job).collect::<Vec<_>>(), vec![2, 5, 9]);
+        r.collect(&[11, 3], &mut out);
+        assert_eq!(out.iter().map(|d| d.job).collect::<Vec<_>>(), vec![2, 5, 9, 3, 11]);
+        for d in &out {
+            assert_eq!(d.exit, Exit::Halted);
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let mut r = ThreadedSliceRunner::new(0);
+        assert_eq!(r.workers(), 1);
+        r.submit(SliceJob { job: 1, machine: machine(), fuel: 8, affinity: 0 });
+        let mut out = Vec::new();
+        r.collect(&[1], &mut out);
+        assert_eq!(out[0].job, 1);
+    }
+}

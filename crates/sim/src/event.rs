@@ -34,6 +34,29 @@ impl ScheduledAt {
     }
 }
 
+/// A reserved place in the event order whose fire time and payload are
+/// not yet known.
+///
+/// [`EventQueue::reserve`] consumes the next sequence number exactly as
+/// [`EventQueue::schedule`] would, so a caller that computes an event's
+/// content asynchronously (the parallel executor's deferred VM slices)
+/// still occupies the same position in the `(time, seq)` total order as
+/// the sequential run that scheduled it on the spot. The reservation is
+/// single-use and must be resolved with [`EventQueue::commit`]; it is
+/// deliberately neither `Clone` nor `Copy`.
+#[derive(Debug)]
+pub struct Reservation {
+    seq: u64,
+}
+
+impl Reservation {
+    /// The sequence number this reservation occupies — the job id the
+    /// merge ledger keys on.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 struct Entry<E> {
     at: ScheduledAt,
     event: E,
@@ -87,11 +110,12 @@ fn level_of(cursor: u64, when: u64) -> usize {
 /// - every occupied slot at level `l` has index ≥ the cursor's index at
 ///   that level (earlier slots were drained before the cursor advanced),
 ///   so all level-`l` entries precede all level-`l+1` entries in time;
-/// - a level-0 slot holds exactly one tick, and its deque is in seq
-///   order: cascades deposit a block's entries before the cursor enters
-///   the block (preserving their relative order), and direct level-0
-///   inserts — only possible once the cursor is inside the block —
-///   append afterwards with necessarily larger seq numbers.
+/// - every slot deque is kept sorted by `(time, seq)`: cascades deposit
+///   a block's entries before the cursor enters the block (preserving
+///   their sorted order), ordinary inserts append at the back (seq
+///   numbers are issued monotonically), and a committed [`Reservation`]
+///   — whose seq predates entries already in its slot — is placed by a
+///   short backward walk from the tail.
 struct Wheel<E> {
     /// `LEVELS * SLOTS` deques, level-major.
     slots: Vec<VecDeque<Entry<E>>>,
@@ -139,7 +163,15 @@ impl<E> Wheel<E> {
         } else {
             self.slot_min[idx] = self.slot_min[idx].min(when);
         }
-        self.slots[idx].push_back(entry);
+        // Sorted insertion by (time, seq). The common case — monotone
+        // seq from `schedule` — appends in O(1); a committed reservation
+        // walks back past the (few) later-seq entries that beat it in.
+        let deque = &mut self.slots[idx];
+        let mut i = deque.len();
+        while i > 0 && deque[i - 1].at > entry.at {
+            i -= 1;
+        }
+        deque.insert(i, entry);
         self.count += 1;
     }
 
@@ -304,6 +336,38 @@ impl<E> EventQueue<E> {
         at
     }
 
+    /// Reserves the next place in the event order without fixing the
+    /// event's time or payload yet.
+    ///
+    /// The reservation counts as pending (for [`EventQueue::len`] /
+    /// [`EventQueue::is_empty`]) from this moment, exactly as a
+    /// `schedule` call here would; resolve it with
+    /// [`EventQueue::commit`] before the queue drains past its eventual
+    /// fire time.
+    pub fn reserve(&mut self) -> Reservation {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        Reservation { seq }
+    }
+
+    /// Resolves a reservation: the event fires at `time` holding the
+    /// reserved sequence number, so it pops exactly where a `schedule`
+    /// call at reservation time would have placed it.
+    ///
+    /// Committing into the past is a logic error; in debug builds it
+    /// panics, in release builds the event fires at the current time.
+    pub fn commit(&mut self, r: Reservation, time: VTime, event: E) -> ScheduledAt {
+        debug_assert!(time >= self.now, "committing into the past: {time:?} < {:?}", self.now);
+        let time = time.max(self.now);
+        let at = ScheduledAt { time, seq: r.seq };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.insert(Entry { at, event }),
+            Backend::Heap(h) => h.push(Entry { at, event }),
+        }
+        at
+    }
+
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was still pending. Cancelling an already
@@ -460,6 +524,58 @@ mod tests {
         assert_eq!(wheel.peek_time(), None);
     }
 
+    /// Adversarial merge order: three same-virtual-time cross-partition
+    /// deliveries, committed in every possible worker-arrival order, must
+    /// pop identically — the (vt, tiebreak seq) merge is total and
+    /// stable, so the arrival order of worker results is unobservable.
+    #[test]
+    fn same_tick_commits_merge_by_reservation_order_under_any_arrival() {
+        let arrivals: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for arrival in arrivals {
+            let mut q = EventQueue::new();
+            // Partitions reserve in a fixed program order (seq 0, 1, 2)…
+            let mut rs: Vec<Option<Reservation>> = (0..3).map(|_| Some(q.reserve())).collect();
+            // …but their results arrive in an adversarial order, all for
+            // the same virtual tick.
+            for &i in &arrival {
+                let r = rs[i].take().expect("each reservation commits once");
+                q.commit(r, VTime(40), i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![0, 1, 2], "arrival {arrival:?} leaked into the merge");
+        }
+    }
+
+    /// A commit landing exactly at the lookahead horizon — the same tick
+    /// as the earliest already-scheduled event — still merges by seq:
+    /// the reservation (older seq) precedes the later schedule, and a
+    /// younger schedule at the same tick follows it.
+    #[test]
+    fn commit_exactly_at_horizon_boundary_keeps_seq_order() {
+        let mut q = EventQueue::new();
+        let r = q.reserve(); // seq 0
+        q.schedule(VTime(25), "scheduled"); // seq 1: the horizon event
+        q.schedule(VTime(25), "later"); // seq 2
+        q.commit(r, VTime(25), "committed"); // fires at the horizon tick
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(t, e)| (t.0, e))).collect();
+        assert_eq!(order, vec![(25, "committed"), (25, "scheduled"), (25, "later")]);
+    }
+
+    /// Reservations count as pending from reserve time, exactly like the
+    /// sequential schedule they stand in for.
+    #[test]
+    fn reservations_count_as_pending() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let r = q.reserve();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.commit(r, VTime(7), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((VTime(7), 1)));
+        assert!(q.is_empty());
+    }
+
     proptest! {
         /// Popping always yields events in nondecreasing time order, and
         /// within a tick in insertion order.
@@ -479,6 +595,67 @@ mod tests {
                     }
                 }
                 last = Some((t, i));
+            }
+        }
+
+        /// Reservation differential oracle: under random interleavings of
+        /// schedules, reservations, out-of-order commits, and pops, the
+        /// wheel and the heap produce identical pop streams — committed
+        /// reservations merge purely by (time, seq), never by backend
+        /// placement or commit order.
+        #[test]
+        fn prop_commit_merge_matches_heap_oracle(
+            ops in proptest::collection::vec((0u8..6, 0u64..5_000, 0usize..32), 1..300),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = EventQueue::new_heap_oracle();
+            let mut open: Vec<(Reservation, Reservation)> = Vec::new();
+            let mut next_id = 0u64;
+            for (kind, dt, pick) in ops {
+                match kind {
+                    // Schedule an ordinary event at now + dt.
+                    0 | 1 => {
+                        let t = VTime(wheel.now().0.saturating_add(dt));
+                        wheel.schedule(t, next_id);
+                        heap.schedule(t, next_id);
+                        next_id += 1;
+                    }
+                    // Reserve a slot in both queues.
+                    2 => {
+                        let w = wheel.reserve();
+                        let h = heap.reserve();
+                        prop_assert_eq!(w.seq(), h.seq());
+                        open.push((w, h));
+                    }
+                    // Commit an arbitrary outstanding reservation (not
+                    // necessarily the oldest: worker arrival order).
+                    3 | 4 if !open.is_empty() => {
+                        let (w, h) = open.swap_remove(pick % open.len());
+                        let t = VTime(wheel.now().0.saturating_add(dt));
+                        wheel.commit(w, t, next_id);
+                        heap.commit(h, t, next_id);
+                        next_id += 1;
+                    }
+                    // Pop one event.
+                    _ => {
+                        prop_assert_eq!(wheel.pop(), heap.pop());
+                        prop_assert_eq!(wheel.now(), heap.now());
+                    }
+                }
+            }
+            // Resolve stragglers, then drain: full tails must agree.
+            for (w, h) in open {
+                let t = VTime(wheel.now().0 + 1);
+                wheel.commit(w, t, next_id);
+                heap.commit(h, t, next_id);
+                next_id += 1;
+            }
+            loop {
+                let (w, h) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(w, h);
+                if w.is_none() {
+                    break;
+                }
             }
         }
 

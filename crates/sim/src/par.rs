@@ -1,0 +1,185 @@
+//! Conservative parallel-execution bookkeeping: the merge ledger that
+//! sits beside the timing wheel.
+//!
+//! The simulator parallelizes the one computation whose inputs are
+//! sealed at a single program point: a user process's VM slice. The
+//! kernel *reserves* the slice's place in the event order (see
+//! [`crate::EventQueue::reserve`]), hands the machine to a worker, and
+//! keeps running the coordinator loop. This ledger tracks every
+//! outstanding reservation with two facts the conservative merge needs:
+//!
+//! * a **lower bound** on the commit's fire time (the dispatch cost —
+//!   the slice's event cannot land earlier even if the machine halts
+//!   instantly). The coordinator must resolve every reservation whose
+//!   lower bound is ≤ the next event's time before popping it: that is
+//!   the barrier that keeps the merged `(time, seq)` stream identical
+//!   to the sequential run's.
+//! * a **partition** (the owning cluster), so events that touch one
+//!   cluster's state can resolve just that partition's outstanding work
+//!   while every other partition's slices keep computing.
+//!
+//! Job ids are the reserved sequence numbers themselves, so "merge by
+//! (virtual time, tiebreak id)" is literally the queue's own total
+//! order — there is no second ordering to keep consistent, and worker
+//! arrival order cannot be observed. Everything here is plain `BTree`
+//! bookkeeping (auros-lint D1): the ledger is deterministic even though
+//! the runner behind it is threaded.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::time::VTime;
+
+/// Deterministic merge ledger for deferred slice completions.
+///
+/// # Examples
+///
+/// ```
+/// use auros_sim::{ParallelExecutor, VTime};
+///
+/// let mut px = ParallelExecutor::new();
+/// px.register(7, VTime(105), 3);
+/// px.register(9, VTime(105), 1);
+/// assert_eq!(px.min_lb(), Some(VTime(105)));
+/// // Due jobs come back in job (= reservation seq) order, regardless
+/// // of registration or completion order.
+/// assert_eq!(px.take_due(Some(VTime(200))), vec![7, 9]);
+/// assert!(px.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ParallelExecutor {
+    /// job → (commit-time lower bound, partition).
+    jobs: BTreeMap<u64, (VTime, u32)>,
+    /// (lower bound, job): the conservative frontier, min first.
+    by_lb: BTreeSet<(VTime, u64)>,
+    /// Partition-local queues of outstanding jobs.
+    by_part: BTreeMap<u32, BTreeSet<u64>>,
+}
+
+impl ParallelExecutor {
+    /// An empty ledger.
+    pub fn new() -> ParallelExecutor {
+        ParallelExecutor::default()
+    }
+
+    /// Records an outstanding job: `lb` is the earliest time its commit
+    /// can fire, `partition` the cluster whose state it will touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is already outstanding (a reservation is
+    /// single-use).
+    pub fn register(&mut self, job: u64, lb: VTime, partition: u32) {
+        let prev = self.jobs.insert(job, (lb, partition));
+        assert!(prev.is_none(), "job {job} registered twice");
+        self.by_lb.insert((lb, job));
+        self.by_part.entry(partition).or_default().insert(job);
+    }
+
+    /// The earliest commit-time lower bound over all outstanding jobs —
+    /// the conservative frontier. The coordinator may pop any event
+    /// strictly earlier than this without resolving anything.
+    pub fn min_lb(&self) -> Option<VTime> {
+        self.by_lb.first().map(|(lb, _)| *lb)
+    }
+
+    /// Outstanding jobs, total.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Removes and returns every job whose lower bound is ≤ `limit`
+    /// (`None` = every job), in ascending job order.
+    pub fn take_due(&mut self, limit: Option<VTime>) -> Vec<u64> {
+        let mut out: Vec<u64> = match limit {
+            None => self.jobs.keys().copied().collect(),
+            Some(t) => {
+                self.by_lb.iter().take_while(|(lb, _)| *lb <= t).map(|(_, job)| *job).collect()
+            }
+        };
+        out.sort_unstable();
+        for job in &out {
+            self.remove(*job);
+        }
+        out
+    }
+
+    /// Removes and returns every outstanding job of `partition`, in
+    /// ascending job order.
+    pub fn take_partition(&mut self, partition: u32) -> Vec<u64> {
+        let out: Vec<u64> =
+            self.by_part.get(&partition).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        for job in &out {
+            self.remove(*job);
+        }
+        out
+    }
+
+    fn remove(&mut self, job: u64) {
+        let (lb, part) = self.jobs.remove(&job).expect("removing unknown job");
+        self.by_lb.remove(&(lb, job));
+        if let Some(s) = self.by_part.get_mut(&part) {
+            s.remove(&job);
+            if s.is_empty() {
+                self.by_part.remove(&part);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_set_is_job_ordered_regardless_of_registration_order() {
+        let mut px = ParallelExecutor::new();
+        // Registered out of job order, with inverted lower bounds.
+        px.register(12, VTime(50), 0);
+        px.register(3, VTime(90), 1);
+        px.register(8, VTime(50), 2);
+        assert_eq!(px.min_lb(), Some(VTime(50)));
+        assert_eq!(px.take_due(Some(VTime(50))), vec![8, 12]);
+        assert_eq!(px.min_lb(), Some(VTime(90)));
+        assert_eq!(px.take_due(None), vec![3]);
+        assert!(px.is_empty());
+        assert_eq!(px.min_lb(), None);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        // A job whose lower bound equals the next event's time must be
+        // resolved before that event pops: its commit may land exactly
+        // at the horizon with a smaller seq.
+        let mut px = ParallelExecutor::new();
+        px.register(1, VTime(25), 0);
+        assert_eq!(px.take_due(Some(VTime(24))), Vec::<u64>::new());
+        assert_eq!(px.take_due(Some(VTime(25))), vec![1]);
+    }
+
+    #[test]
+    fn partition_queues_are_local() {
+        let mut px = ParallelExecutor::new();
+        px.register(1, VTime(10), 0);
+        px.register(2, VTime(10), 1);
+        px.register(5, VTime(12), 0);
+        assert_eq!(px.take_partition(0), vec![1, 5]);
+        assert_eq!(px.len(), 1);
+        assert_eq!(px.min_lb(), Some(VTime(10)));
+        assert_eq!(px.take_partition(0), Vec::<u64>::new());
+        assert_eq!(px.take_partition(1), vec![2]);
+        assert!(px.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut px = ParallelExecutor::new();
+        px.register(1, VTime(10), 0);
+        px.register(1, VTime(11), 0);
+    }
+}

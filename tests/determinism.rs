@@ -247,10 +247,17 @@ proptest! {
             let mut sys = b.build();
             sys.world.trace = auros::sim::TraceLog::capture_all();
             assert!(sys.run(DEADLINE), "run must complete");
-            sys.world.trace.snapshot()
+            let t = &sys.world.trace;
+            (t.snapshot(), t.len(), t.evicted(), t.fingerprints())
         };
         let (a, b) = (snapshot(), snapshot());
-        if let Some(div) = auros::sim::first_divergence(&a, &b) {
+        // Stream *identity*, not merely prefix equality: equal totals and
+        // equal per-category fingerprints rule out one stream silently
+        // truncating where the other kept going.
+        prop_assert_eq!(a.1, b.1, "total event counts differ");
+        prop_assert_eq!(a.2, b.2, "evicted counts differ");
+        prop_assert_eq!(a.3, b.3, "per-category fingerprints differ");
+        if let Some(div) = auros::sim::first_divergence(&a.0, &b.0) {
             prop_assert!(false, "repeat run diverged: {div}");
         }
     }
@@ -290,11 +297,21 @@ proptest! {
             prop_assert!(sys.world.stats.supervised_restarts >= 1);
         }
         // The backoff delays are data in the event stream: a repeat run
-        // must reproduce each SupervisionRestart tick-for-tick.
+        // must reproduce each SupervisionRestart tick-for-tick — and the
+        // streams must be the same *length* with the same per-category
+        // fingerprints, so neither run silently truncates.
         let a = sys.world.trace.snapshot();
         let mut again = build(true);
         prop_assert!(again.run(DEADLINE));
         let b = again.world.trace.snapshot();
+        prop_assert_eq!(
+            sys.world.trace.len(), again.world.trace.len(),
+            "total event counts differ"
+        );
+        prop_assert_eq!(
+            sys.world.trace.fingerprints(), again.world.trace.fingerprints(),
+            "per-category fingerprints differ"
+        );
         if let Some(div) = auros::sim::first_divergence(&a, &b) {
             prop_assert!(false, "poisoned repeat run diverged: {div}");
         }

@@ -1,0 +1,250 @@
+//! `par_equals_seq`: the tier-1 equivalence invariant of parallel
+//! execution.
+//!
+//! The same seed run sequentially and with N worker threads must be
+//! *indistinguishable* — not statistically, byte-for-byte: identical
+//! per-category trace fingerprints, identical event and eviction counts,
+//! identical metrics (every counter and histogram), identical exit
+//! codes, identical durable file and terminal bytes, identical
+//! blocked-wait histogram, identical virtual makespan. The sweep runs
+//! representative chaos plan shapes (TransientMix, CascadeFailover,
+//! CrashLoop, ZoneOutage) across the baseline workload and all three
+//! model-checked apps, so recovery, supervision, and dead-letter paths
+//! are all exercised under parallel execution.
+//!
+//! On divergence, the flight-recorder differ names the first divergent
+//! event instead of leaving two opaque fingerprints.
+
+use auros::chaos::{build_scenario, plan_of_kind, PlanKind, Scenario, SWEEP_DEADLINE};
+use auros::sim::TraceEvent;
+use auros::RunDigest;
+use auros_par::ThreadedSliceRunner;
+use proptest::prelude::*;
+
+const SEED: u64 = 0xA42_0010;
+
+/// The plan shapes the equivalence sweep pins (one per fault family:
+/// wire-level transients, correlated crash cascade, poison crash-loop
+/// with quarantine, zone-wide outage).
+const KINDS: [PlanKind; 4] =
+    [PlanKind::TransientMix, PlanKind::CascadeFailover, PlanKind::CrashLoop, PlanKind::ZoneOutage];
+
+/// Everything observable about one run.
+struct RunRecord {
+    completed: bool,
+    makespan: u64,
+    events_processed: u64,
+    fingerprints: [u64; 9],
+    trace_len: usize,
+    trace_evicted: u64,
+    digest: RunDigest,
+    counters: Vec<(String, u64)>,
+    hists: Vec<(String, u64, u64, u64, u64)>,
+    wait_hist: [u64; 32],
+    trace: Vec<TraceEvent>,
+}
+
+/// Runs one sweep scenario; `workers == 0` is the sequential path.
+fn run_one(seed: u64, scenario: Scenario, kind: PlanKind, workers: usize) -> RunRecord {
+    let plan = plan_of_kind(seed, kind, scenario);
+    let mut sys = build_scenario(seed, scenario, &plan);
+    if workers > 0 {
+        sys.set_slice_runner(Box::new(ThreadedSliceRunner::new(workers)));
+    }
+    let completed = sys.run(SWEEP_DEADLINE);
+    let reg = sys.metrics();
+    let counters = reg.counters().map(|(k, v)| (k.to_string(), v)).collect();
+    let hists = reg
+        .histograms()
+        .map(|(k, h)| (k.to_string(), h.count(), h.sum(), h.min(), h.max()))
+        .collect();
+    RunRecord {
+        completed,
+        makespan: sys.now().ticks(),
+        events_processed: sys.world.events_processed,
+        fingerprints: sys.world.trace.fingerprints(),
+        trace_len: sys.world.trace.len(),
+        trace_evicted: sys.world.trace.evicted(),
+        digest: sys.digest(),
+        counters,
+        hists,
+        wait_hist: sys.world.stats.wait_hist,
+        trace: sys.world.trace.snapshot(),
+    }
+}
+
+/// The equivalence predicate. Returns an explanation of the first
+/// difference found, localized via the flight-recorder differ where the
+/// traces themselves diverge.
+fn par_equals_seq(seq: &RunRecord, par: &RunRecord) -> Result<(), String> {
+    if seq.completed != par.completed {
+        return Err(format!("completed: seq {} vs par {}", seq.completed, par.completed));
+    }
+    if seq.fingerprints != par.fingerprints
+        || seq.trace_len != par.trace_len
+        || seq.trace_evicted != par.trace_evicted
+    {
+        let diff = auros::sim::first_divergence(&seq.trace, &par.trace)
+            .map_or_else(|| "divergence beyond the trace ring".to_string(), |d| d.to_string());
+        return Err(format!(
+            "trace streams differ (len {} vs {}, evicted {} vs {}): {diff}",
+            seq.trace_len, par.trace_len, seq.trace_evicted, par.trace_evicted,
+        ));
+    }
+    if seq.makespan != par.makespan {
+        return Err(format!("virtual makespan: seq {} vs par {}", seq.makespan, par.makespan));
+    }
+    if seq.events_processed != par.events_processed {
+        return Err(format!(
+            "events processed: seq {} vs par {}",
+            seq.events_processed, par.events_processed
+        ));
+    }
+    if seq.digest != par.digest {
+        return Err("run digest (exits / file bytes / terminal bytes) differs".to_string());
+    }
+    for (s, p) in seq.counters.iter().zip(par.counters.iter()) {
+        if s != p {
+            return Err(format!("counter {}={} vs {}={}", s.0, s.1, p.0, p.1));
+        }
+    }
+    if seq.counters.len() != par.counters.len() {
+        return Err(format!(
+            "counter sets differ in size: {} vs {}",
+            seq.counters.len(),
+            par.counters.len()
+        ));
+    }
+    for (s, p) in seq.hists.iter().zip(par.hists.iter()) {
+        if s != p {
+            return Err(format!("histogram {} differs: {s:?} vs {p:?}", s.0));
+        }
+    }
+    if seq.hists.len() != par.hists.len() {
+        return Err("histogram sets differ in size".to_string());
+    }
+    if seq.wait_hist != par.wait_hist {
+        return Err(format!(
+            "wait histogram differs:\n  seq {:?}\n  par {:?}",
+            seq.wait_hist, par.wait_hist
+        ));
+    }
+    Ok(())
+}
+
+fn sweep_scenario(scenario: Scenario) {
+    for kind in KINDS {
+        let seq = run_one(SEED, scenario, kind, 0);
+        for workers in [2, 4] {
+            let par = run_one(SEED, scenario, kind, workers);
+            if let Err(e) = par_equals_seq(&seq, &par) {
+                panic!("par_equals_seq failed: {scenario:?}/{kind:?} with {workers} workers: {e}");
+            }
+        }
+    }
+}
+
+// The tier-1 matrix: every plan shape × every workload, seq vs 2 and 4
+// workers. One test per scenario so the harness runs them concurrently.
+
+#[test]
+fn par_equals_seq_baseline() {
+    sweep_scenario(Scenario::Baseline);
+}
+
+#[test]
+fn par_equals_seq_kv_store() {
+    sweep_scenario(Scenario::KvStore);
+}
+
+#[test]
+fn par_equals_seq_chat_fanout() {
+    sweep_scenario(Scenario::ChatFanout);
+}
+
+#[test]
+fn par_equals_seq_etl_pipeline() {
+    sweep_scenario(Scenario::EtlPipeline);
+}
+
+/// Focused regression for the blocked-wait histogram (PR 9): its 32
+/// buckets must be byte-identical across worker counts — waits close at
+/// wake time, which parallel execution must not shift by a tick.
+#[test]
+fn wait_histogram_is_worker_count_independent() {
+    let seq = run_one(SEED, Scenario::Baseline, PlanKind::CascadeFailover, 0);
+    assert!(seq.wait_hist.iter().any(|&b| b > 0), "workload must record waits");
+    for workers in [1, 2, 4, 7] {
+        let par = run_one(SEED, Scenario::Baseline, PlanKind::CascadeFailover, workers);
+        assert_eq!(seq.wait_hist, par.wait_hist, "wait_hist diverged at {workers} workers");
+    }
+}
+
+/// CI smoke: a 64-cluster, bus-segmented fleet (one pingpong pair per
+/// cluster chained around the ring, plus per-cluster compute) run
+/// sequentially and with 2 workers. Covers the multi-segment
+/// partition/affinity path the 4-cluster chaos machine never touches.
+#[test]
+fn par_smoke_fleet_64() {
+    use auros::{programs, SystemBuilder, VTime};
+    let build = || {
+        let clusters = 64u16;
+        let mut b = SystemBuilder::new(clusters);
+        b.config_mut().bus_segment_size = 32;
+        let scale = u64::from(clusters / 32).max(1);
+        let base = b.config_mut().costs.report_interval;
+        b.config_mut().costs.report_interval = base.saturating_mul(scale);
+        b.config_mut().sync_max_reads *= scale;
+        for c in 0..clusters {
+            let name = format!("s{c}");
+            b.spawn(c, programs::pingpong(&name, 4, true));
+            b.spawn((c + 1) % clusters, programs::pingpong(&name, 4, false));
+            if c % 8 == 0 {
+                b.spawn(c, programs::compute_loop(400, 2));
+            }
+        }
+        b.build()
+    };
+    let deadline = VTime(40_000_000_000);
+    let record = |workers: usize| {
+        let mut sys = build();
+        if workers > 0 {
+            sys.set_slice_runner(Box::new(ThreadedSliceRunner::new(workers)));
+        }
+        assert!(sys.run(deadline), "fleet workload must complete ({workers} workers)");
+        (
+            sys.world.trace.fingerprints(),
+            sys.world.events_processed,
+            sys.now().ticks(),
+            sys.digest(),
+        )
+    };
+    let seq = record(0);
+    let par = record(2);
+    assert_eq!(seq.0, par.0, "fleet trace fingerprints diverged");
+    assert_eq!(seq.1, par.1, "fleet event counts diverged");
+    assert_eq!(seq.2, par.2, "fleet makespan diverged");
+    assert!(seq.3 == par.3, "fleet digest diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Random (seed, workers, plan kind) triples always satisfy
+    /// `par_equals_seq`; shrunk failures carry the first-divergence
+    /// report, so a regression names the exact event where parallel
+    /// execution first departed from sequential.
+    #[test]
+    fn prop_par_equals_seq(
+        seed in 1u64..1_000_000,
+        workers in prop_oneof![Just(1usize), Just(2), Just(4), Just(7)],
+        kind_idx in 0usize..4,
+    ) {
+        let kind = KINDS[kind_idx];
+        let seq = run_one(seed, Scenario::Baseline, kind, 0);
+        let par = run_one(seed, Scenario::Baseline, kind, workers);
+        if let Err(e) = par_equals_seq(&seq, &par) {
+            prop_assert!(false, "{kind:?} with {workers} workers, seed {seed}: {e}");
+        }
+    }
+}
